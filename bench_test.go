@@ -1,0 +1,37 @@
+package fragmd_test
+
+// Benchmarks regenerating the paper's tables and figures (one benchmark
+// per experiment; see DESIGN.md §4 for the index). Run with
+//
+//	go test -bench=. -benchmem
+//
+// Full paper-size configurations: cmd/mbebench -full <experiment>.
+
+import (
+	"io"
+	"testing"
+
+	"github.com/fragmd/fragmd/internal/bench"
+)
+
+func runExperiment(b *testing.B, fn func(*bench.Config)) {
+	b.Helper()
+	cfg := &bench.Config{Quick: true, Out: io.Discard}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn(cfg)
+	}
+}
+
+func BenchmarkTable1Attributes(b *testing.B)     { runExperiment(b, bench.Table1) }
+func BenchmarkTable2Landscape(b *testing.B)      { runExperiment(b, bench.Fig1Table2) }
+func BenchmarkTable3GlycineLatency(b *testing.B) { runExperiment(b, bench.Table3) }
+func BenchmarkFig3RIHFSpeedup(b *testing.B)      { runExperiment(b, bench.Fig3) }
+func BenchmarkTable4GemmVariants(b *testing.B)   { runExperiment(b, bench.Table4) }
+func BenchmarkAutotuneAblation(b *testing.B)     { runExperiment(b, bench.AutotuneAblation) }
+func BenchmarkFig5Contributions(b *testing.B)    { runExperiment(b, bench.Fig5) }
+func BenchmarkFig6Conservation(b *testing.B)     { runExperiment(b, bench.Fig6) }
+func BenchmarkAsyncVsSync(b *testing.B)          { runExperiment(b, bench.AsyncAblation) }
+func BenchmarkFig7StrongScaling(b *testing.B)    { runExperiment(b, bench.Fig7) }
+func BenchmarkFig8WeakScaling(b *testing.B)      { runExperiment(b, bench.Fig8) }
+func BenchmarkTable5Records(b *testing.B)        { runExperiment(b, bench.Table5) }

@@ -1,0 +1,85 @@
+// Command mbebench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mbebench [-full] <experiment>...
+//	mbebench -list
+//
+// Experiments: table1 fig1 table2 table3 fig3 table4 autotune fig5 fig6
+// async fig7 fig8 table5 all
+//
+// By default workloads are shrunk to development-box scale; -full runs
+// the paper-size configurations (the exascale experiments remain
+// discrete-event simulations — see DESIGN.md §2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/fragmd/fragmd/internal/bench"
+)
+
+var experiments = []struct {
+	name string
+	fn   func(*bench.Config)
+	desc string
+}{
+	{"table1", bench.Table1, "performance-attribute summary"},
+	{"fig1", bench.Fig1Table2, "accuracy-vs-size landscape (also: table2)"},
+	{"table3", bench.Table3, "Gly_n single-time-step latency vs conventional"},
+	{"fig3", bench.Fig3, "RI-HF vs conventional-HF gradient ablation"},
+	{"table4", bench.Table4, "DGEMM variant performance on RI-MP2 shapes"},
+	{"autotune", bench.AutotuneAblation, "runtime GEMM auto-tuning speedup (§V-G)"},
+	{"fig5", bench.Fig5, "dimer/trimer contribution decay and cutoffs"},
+	{"fig6", bench.Fig6, "NVE energy conservation with async time steps"},
+	{"async", bench.AsyncAblation, "async vs sync time-step latency (§VII-A)"},
+	{"fig7", bench.Fig7, "strong scaling on Perlmutter/Frontier models"},
+	{"fig8", bench.Fig8, "weak scaling at 4 polymers/GCD"},
+	{"table5", bench.Table5, "record runs: million-electron urea, 2BEG latency"},
+}
+
+func main() {
+	full := flag.Bool("full", false, "run paper-size configurations")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("  %-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mbebench [-full] <experiment>|all ... (-list to enumerate)")
+		os.Exit(2)
+	}
+	cfg := &bench.Config{Quick: !*full, Out: os.Stdout}
+	run := func(name string) bool {
+		for _, e := range experiments {
+			if e.name == name || (name == "table2" && e.name == "fig1") {
+				start := time.Now()
+				fmt.Printf("==== %s ====\n", e.name)
+				e.fn(cfg)
+				fmt.Printf("---- %s done in %.1fs ----\n\n", e.name, time.Since(start).Seconds())
+				return true
+			}
+		}
+		return false
+	}
+	for _, name := range args {
+		if name == "all" {
+			for _, e := range experiments {
+				run(e.name)
+			}
+			continue
+		}
+		if !run(name) {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (-list to enumerate)\n", name)
+			os.Exit(2)
+		}
+	}
+}

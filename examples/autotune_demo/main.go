@@ -1,0 +1,42 @@
+// Auto-tuning demo: shows the runtime GEMM variant selection (paper
+// §V-G) in action — the same logical product executed through all four
+// algorithmic variants, timed in-situ, then locked to the winner; the
+// tuned shapes and their measured spread are printed afterwards.
+package main
+
+import (
+	"fmt"
+
+	"github.com/fragmd/fragmd/internal/autotune"
+	"github.com/fragmd/fragmd/internal/linalg"
+)
+
+func main() {
+	// Three RI-MP2-like shapes: square-ish, tall-skinny, panel.
+	shapes := [][3]int{{240, 4096, 240}, {48, 65536, 48}, {96, 16384, 96}}
+	tuner := autotune.New()
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := linalg.NewMat(m, k)
+		b := linalg.NewMat(k, n)
+		for i := range a.Data {
+			a.Data[i] = float64(i%17) * 1e-3
+		}
+		for i := range b.Data {
+			b.Data[i] = float64(i%13) * 1e-3
+		}
+		c := linalg.NewMat(m, n)
+		// 8 calls: the first 4 trial the variants, the rest use the winner.
+		for call := 0; call < 8; call++ {
+			tuner.Gemm(linalg.NoTrans, linalg.NoTrans, 1, a, b, 0, c)
+		}
+	}
+	fmt.Println("shape                     best   trial seconds [NN NT TN TT]      spread")
+	for _, st := range tuner.Snapshot() {
+		fmt.Printf("(%4d×%6d)·(%6d×%4d)  %-4v  [%.4f %.4f %.4f %.4f]  %4.0f%%\n",
+			st.M, st.K, st.K, st.N, st.Best,
+			st.Seconds[0], st.Seconds[1], st.Seconds[2], st.Seconds[3], st.SpeedupPct)
+	}
+	fmt.Println("\npaper Table IV saw up to 20× spread between variants on MI250X;")
+	fmt.Println("the in-situ trial phase costs nothing because every call does useful work.")
+}

@@ -1,0 +1,80 @@
+// Protein-fibril AIMD: the paper's 6PQ5/2BEG use case — a β-strand
+// fibril fragmented into residue-sized monomers with hydrogen caps,
+// integrated with the asynchronous time-step engine, reporting energy
+// conservation and the async-vs-sync step latency.
+//
+// Flags select a quick surrogate-potential run (default) or a real
+// RI-MP2 run on a very small fibril (-qc).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/fragmd/fragmd"
+)
+
+func main() {
+	qc := flag.Bool("qc", false, "use RI-MP2/sto-3g forces on a 2-strand fibril (slow)")
+	strands := flag.Int("strands", 4, "number of β strands")
+	residues := flag.Int("residues", 6, "residues per strand")
+	steps := flag.Int("steps", 20, "AIMD steps")
+	flag.Parse()
+
+	var eval fragmd.Evaluator
+	if *qc {
+		*strands, *residues, *steps = 2, 2, 3
+		eval = fragmd.NewRIMP2Potential("sto-3g", false)
+	} else {
+		eval = fragmd.NewLennardJonesPotential()
+	}
+	sys, monomers := fragmd.BetaFibril(*strands, *residues)
+	fmt.Printf("β-fibril analogue: %d strands × %d residues, %d atoms, %d electrons, %d monomers\n",
+		*strands, *residues, sys.N(), sys.NumElectrons(), len(monomers))
+
+	frag, err := fragmd.NewFragmentation(sys, monomers, fragmd.FragmentOptions{
+		DimerCutoff:  22 * fragmd.BohrPerAngstrom,
+		TrimerCutoff: 9 * fragmd.BohrPerAngstrom,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(async bool) (drift float64, wall time.Duration) {
+		eng, err := fragmd.NewEngine(frag, eval, fragmd.EngineOptions{
+			Workers: 4, Async: async, Dt: 0.5 * fragmd.AtomicTimePerFs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		state := fragmd.NewMDState(sys.Clone())
+		start := time.Now()
+		var e0 float64
+		stats, err := eng.Run(state, *steps, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wall = time.Since(start)
+		e0 = stats[0].Etot
+		for _, st := range stats {
+			if d := st.Etot - e0; d > drift || -d > drift {
+				if d < 0 {
+					d = -d
+				}
+				drift = d
+			}
+		}
+		return drift, wall
+	}
+
+	driftA, wallA := run(true)
+	fmt.Printf("async: %d steps in %v, max |ΔE| = %.3e Ha\n", *steps, wallA, driftA)
+	driftS, wallS := run(false)
+	fmt.Printf("sync:  %d steps in %v, max |ΔE| = %.3e Ha\n", *steps, wallS, driftS)
+	if wallA < wallS {
+		fmt.Printf("async throughput gain: %.1f%% (paper §VII-A: 24–40%%)\n",
+			100*(wallS.Seconds()/wallA.Seconds()-1))
+	}
+}

@@ -1,0 +1,178 @@
+// Package fragmd is a from-scratch Go implementation of biomolecular-
+// scale ab initio molecular dynamics with MP2 potentials, reproducing
+// "Breaking the Million-Electron and 1 EFLOP/s Barriers" (SC 2024):
+// MBE3 molecular fragmentation, synergistic RI-HF + RI-MP2 analytic
+// gradients with no four-center integrals, asynchronous time-step AIMD,
+// runtime GEMM auto-tuning, and a discrete-event simulator of the
+// Frontier/Perlmutter executions.
+//
+// This file is the public facade: it re-exports the stable surface of
+// the internal packages through type aliases and constructors, so
+// downstream code imports only github.com/fragmd/fragmd.
+//
+// Quick start:
+//
+//	sys := fragmd.WaterCluster(8)
+//	frag, _ := fragmd.FragmentByMolecule(sys, 3, 1, fragmd.FragmentOptions{})
+//	res, _ := frag.Compute(fragmd.NewRIMP2Potential("sto-3g", false))
+//	fmt.Println(res.Energy)
+package fragmd
+
+import (
+	"math/rand"
+
+	"github.com/fragmd/fragmd/internal/autotune"
+	"github.com/fragmd/fragmd/internal/chem"
+	"github.com/fragmd/fragmd/internal/cluster"
+	"github.com/fragmd/fragmd/internal/fragment"
+	"github.com/fragmd/fragmd/internal/linalg"
+	"github.com/fragmd/fragmd/internal/md"
+	"github.com/fragmd/fragmd/internal/molecule"
+	"github.com/fragmd/fragmd/internal/potential"
+	"github.com/fragmd/fragmd/internal/sched"
+)
+
+// Geometry is a molecular geometry (positions in Bohr; XYZ I/O in Å).
+type Geometry = molecule.Geometry
+
+// Geometry builders for the paper's benchmark systems.
+var (
+	Water             = molecule.Water
+	WaterDimer        = molecule.WaterDimer
+	WaterCluster      = molecule.WaterCluster
+	Urea              = molecule.Urea
+	UreaCrystalSphere = molecule.UreaCrystalSphere
+	Paracetamol       = molecule.Paracetamol
+	ParacetamolSphere = molecule.ParacetamolSphere
+	Polyglycine       = molecule.Polyglycine
+	BetaFibril        = molecule.BetaFibril
+	ParseXYZ          = molecule.ParseXYZ
+)
+
+// Unit conversions.
+const (
+	BohrPerAngstrom = chem.BohrPerAngstrom
+	AngstromPerBohr = chem.AngstromPerBohr
+	AtomicTimePerFs = chem.AtomicTimePerFs
+	KJPerMolPerHa   = chem.KJPerMolPerHartree
+)
+
+// Fragmentation types (MBE3 machinery, paper §V-B).
+type (
+	// Fragmentation partitions a system into monomers and enumerates
+	// dimer/trimer corrections under distance cutoffs.
+	Fragmentation = fragment.Fragmentation
+	// FragmentOptions sets cutoffs (Bohr), MBE order and H-cap geometry.
+	FragmentOptions = fragment.Options
+	// Evaluator computes a fragment's energy and gradient.
+	Evaluator = fragment.Evaluator
+	// MBEResult is an assembled energy/gradient with ΔE bookkeeping.
+	MBEResult = fragment.Result
+)
+
+// NewFragmentation fragments with an explicit monomer partition
+// (atom-index lists); covalent boundaries are hydrogen-capped.
+func NewFragmentation(g *Geometry, monomers [][]int, opts FragmentOptions) (*Fragmentation, error) {
+	return fragment.New(g, monomers, opts)
+}
+
+// FragmentByMolecule fragments a cluster built molecule-by-molecule into
+// monomers of molsPerMonomer consecutive molecules.
+func FragmentByMolecule(g *Geometry, atomsPerMol, molsPerMonomer int, opts FragmentOptions) (*Fragmentation, error) {
+	return fragment.ByMolecule(g, atomsPerMol, molsPerMonomer, opts)
+}
+
+// NewRIMP2Potential returns the paper's production potential: RI-HF +
+// RI-MP2 energies with fully analytic gradients. basis is "sto-3g" or
+// "dzp"; scs applies spin-component scaling to reported energies.
+func NewRIMP2Potential(basis string, scs bool) Evaluator {
+	return &potential.RIMP2{Basis: basis, SCS: scs}
+}
+
+// NewHFPotential returns a Hartree-Fock potential; useRI selects the
+// RI Fock build, false the conventional four-center baseline.
+func NewHFPotential(basis string, useRI bool) Evaluator {
+	return &potential.HF{Basis: basis, UseRI: useRI}
+}
+
+// NewLennardJonesPotential returns the fast surrogate potential used to
+// exercise MD and scheduling at scales the ab initio evaluators cannot
+// reach on a workstation.
+func NewLennardJonesPotential() Evaluator { return &potential.LennardJones{} }
+
+// MD types.
+type (
+	// MDState holds positions, velocities and masses in atomic units.
+	MDState = md.State
+	// StepStats reports one asynchronous-engine time step.
+	StepStats = sched.StepStats
+	// EngineOptions configures the asynchronous AIMD engine.
+	EngineOptions = sched.Options
+	// Engine is the asynchronous time-step AIMD driver (paper §V-F).
+	Engine = sched.Engine
+)
+
+// NewMDState builds a state with standard masses and zero velocities.
+func NewMDState(g *Geometry) *MDState { return md.NewState(g) }
+
+// Berendsen is the weak-coupling thermostat for NVT equilibration before
+// NVE production runs.
+type Berendsen = md.Berendsen
+
+// TrajectoryWriter streams MD frames as multi-frame XYZ.
+type TrajectoryWriter = md.TrajectoryWriter
+
+// NewEngine creates the asynchronous (or, with Async=false, barrier-
+// synchronised) AIMD engine over a fragmentation and potential.
+func NewEngine(f *Fragmentation, eval Evaluator, opts EngineOptions) (*Engine, error) {
+	return sched.New(f, eval, opts)
+}
+
+// RunAIMD is a convenience wrapper: fragment the system, sample
+// Maxwell–Boltzmann velocities, and run n asynchronous MBE3 AIMD steps.
+// dtFs is the time step in femtoseconds.
+func RunAIMD(f *Fragmentation, eval Evaluator, tempK, dtFs float64, n int, seed int64, obs func(StepStats)) (*MDState, []StepStats, error) {
+	eng, err := sched.New(f, eval, sched.Options{Workers: 2, Async: true, Dt: dtFs * chem.AtomicTimePerFs})
+	if err != nil {
+		return nil, nil, err
+	}
+	state := md.NewState(f.Geom.Clone())
+	state.SampleVelocities(tempK, rand.New(rand.NewSource(seed)))
+	stats, err := eng.Run(state, n, obs)
+	return state, stats, err
+}
+
+// Cluster-simulation types (the Frontier/Perlmutter substitute).
+type (
+	// Machine models an HPC system for the discrete-event simulator.
+	Machine = cluster.Machine
+	// Workload is a fragment workload with dependency metadata.
+	Workload = cluster.Workload
+	// SimOptions configures a simulated run.
+	SimOptions = cluster.Options
+	// SimResult reports simulated latency, PFLOP/s and peak fraction.
+	SimResult = cluster.Result
+)
+
+// Machine models and workload builders.
+var (
+	Frontier            = cluster.Frontier
+	Perlmutter          = cluster.Perlmutter
+	UreaWorkload        = cluster.UreaWorkload
+	ParacetamolWorkload = cluster.ParacetamolWorkload
+	FibrilWorkload      = cluster.FibrilWorkload
+)
+
+// Simulate runs the discrete-event execution model.
+func Simulate(w *Workload, m Machine, opts SimOptions) (*SimResult, error) {
+	return cluster.Simulate(w, m, opts)
+}
+
+// GEMMFLOPs returns the global GEMM FLOP counter (2·m·n·k per call, the
+// paper's measurement mechanism); ResetGEMMFLOPs zeroes it.
+func GEMMFLOPs() int64      { return linalg.FLOPs() }
+func ResetGEMMFLOPs() int64 { return linalg.ResetFLOPs() }
+
+// DefaultTuner is the process-wide runtime GEMM auto-tuner (§V-G).
+// Disable it (DefaultTuner.Enabled = false) for ablation studies.
+var DefaultTuner = autotune.Default

@@ -1,0 +1,78 @@
+package fragmd_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fragmd/fragmd"
+)
+
+// End-to-end smoke test of the public API: fragment a water trimer,
+// compute the MBE3/RI-MP2 energy and compare with the supersystem
+// (an exact identity for three monomers).
+func TestPublicAPIEnergy(t *testing.T) {
+	sys := fragmd.WaterCluster(3)
+	frag, err := fragmd.FragmentByMolecule(sys, 3, 1, fragmd.FragmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := fragmd.NewRIMP2Potential("sto-3g", false)
+	res, err := frag.Compute(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eSuper, _, err := eval.Evaluate(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Energy-eSuper) > 1e-8 {
+		t.Errorf("MBE3 %.10f != supersystem %.10f", res.Energy, eSuper)
+	}
+}
+
+// Public API AIMD: a few asynchronous steps with the surrogate
+// potential must conserve energy.
+func TestPublicAPIMD(t *testing.T) {
+	sys := fragmd.WaterCluster(4)
+	frag, err := fragmd.FragmentByMolecule(sys, 3, 1, fragmd.FragmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := fragmd.RunAIMD(frag, fragmd.NewLennardJonesPotential(), 150, 0.25, 10, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 10 {
+		t.Fatalf("got %d steps", len(stats))
+	}
+	drift := math.Abs(stats[9].Etot - stats[0].Etot)
+	if drift > 1e-5 {
+		t.Errorf("energy drift %.2e", drift)
+	}
+}
+
+// Public API cluster simulation: the million-electron workload must
+// enumerate and simulate.
+func TestPublicAPISimulation(t *testing.T) {
+	w := fragmd.UreaWorkload(400, 4, 15.3, 15.3)
+	r, err := fragmd.Simulate(w, fragmd.Frontier(), fragmd.SimOptions{Nodes: 16, Steps: 2, Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PFLOPS <= 0 || r.PeakFraction <= 0 || r.PeakFraction > 1 {
+		t.Errorf("implausible simulation result: %+v", r)
+	}
+}
+
+// FLOP accounting is exposed and monotone.
+func TestPublicAPIFLOPs(t *testing.T) {
+	fragmd.ResetGEMMFLOPs()
+	sys := fragmd.Water()
+	eval := fragmd.NewRIMP2Potential("sto-3g", false)
+	if _, _, err := eval.Evaluate(sys); err != nil {
+		t.Fatal(err)
+	}
+	if fragmd.GEMMFLOPs() <= 0 {
+		t.Error("GEMM FLOP counter did not advance during an RI-MP2 evaluation")
+	}
+}

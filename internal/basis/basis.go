@@ -1,0 +1,332 @@
+// Package basis defines contracted Cartesian Gaussian basis sets and
+// builds per-molecule shell lists for the integral engine.
+//
+// Two orbital basis sets are built in:
+//
+//   - "sto-3g": the literature STO-3G exponents/coefficients (exact
+//     values) — used by the fast test and latency paths.
+//   - "dzp": a double-ζ-plus-polarisation set (3-21G split-valence
+//     exponents plus a d shell on heavy atoms and a p shell on H). It
+//     plays the role of the paper's cc-pVDZ: the methods only require a
+//     polarised double-ζ primary basis, and the Table III reference
+//     calculations in the FMO literature used 6-31G(d,p), which this
+//     matches in quality. Documented as a substitution in DESIGN.md.
+//
+// Auxiliary ("RIFIT-like") bases are generated even-tempered per element
+// from the orbital exponent ranges, replacing cc-pVDZ-RIFIT.
+package basis
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fragmd/fragmd/internal/molecule"
+)
+
+// Shell is one contracted Cartesian Gaussian shell placed on an atom.
+// Coefs[c][p] is the full coefficient of primitive p for Cartesian
+// component c, including primitive and contracted normalisation, so the
+// integral engine needs no further normalisation logic.
+type Shell struct {
+	Atom   int        // owning atom index in the geometry
+	L      int        // total angular momentum (0=s, 1=p, 2=d, ...)
+	Center [3]float64 // Bohr
+	Exps   []float64
+	Coefs  [][]float64 // [ncart][nprim]
+	Start  int         // index of the shell's first basis function
+}
+
+// NCart returns the number of Cartesian components of the shell.
+func (s *Shell) NCart() int { return (s.L + 1) * (s.L + 2) / 2 }
+
+// Set is a basis for a specific geometry.
+type Set struct {
+	Name   string
+	Shells []Shell
+	N      int // total number of basis functions
+	NAtoms int
+}
+
+// CartComponents lists the Cartesian exponent triples (lx, ly, lz) of
+// angular momentum L in the canonical lexicographic order
+// (lx descending, then ly descending).
+func CartComponents(l int) [][3]int {
+	out := make([][3]int, 0, (l+1)*(l+2)/2)
+	for lx := l; lx >= 0; lx-- {
+		for ly := l - lx; ly >= 0; ly-- {
+			out = append(out, [3]int{lx, ly, l - lx - ly})
+		}
+	}
+	return out
+}
+
+// doubleFactorial returns n!! with (-1)!! = 1.
+func doubleFactorial(n int) float64 {
+	r := 1.0
+	for ; n > 1; n -= 2 {
+		r *= float64(n)
+	}
+	return r
+}
+
+// primNorm is the normalisation constant of a primitive Cartesian
+// Gaussian x^i y^j z^k exp(-a r²).
+func primNorm(a float64, i, j, k int) float64 {
+	num := math.Pow(2*a/math.Pi, 0.75) * math.Pow(4*a, 0.5*float64(i+j+k))
+	den := math.Sqrt(doubleFactorial(2*i-1) * doubleFactorial(2*j-1) * doubleFactorial(2*k-1))
+	return num / den
+}
+
+// selfOverlap is the overlap of two primitives with the same center and
+// the same Cartesian exponents (i, j, k).
+func selfOverlap(a, b float64, i, j, k int) float64 {
+	p := a + b
+	pre := math.Pow(math.Pi/p, 1.5)
+	f := doubleFactorial(2*i-1) * doubleFactorial(2*j-1) * doubleFactorial(2*k-1)
+	return pre * f / math.Pow(2*p, float64(i+j+k))
+}
+
+// rawShell is an element-basis shell before placement/normalisation.
+type rawShell struct {
+	l     int
+	exps  []float64
+	coefs []float64
+}
+
+// newShell places a raw shell on an atom and normalises every Cartesian
+// component to unit self-overlap.
+func newShell(atom int, center [3]float64, rs rawShell) Shell {
+	comps := CartComponents(rs.l)
+	sh := Shell{Atom: atom, L: rs.l, Center: center, Exps: append([]float64(nil), rs.exps...)}
+	sh.Coefs = make([][]float64, len(comps))
+	for ci, c := range comps {
+		cc := make([]float64, len(rs.exps))
+		for p, a := range rs.exps {
+			cc[p] = rs.coefs[p] * primNorm(a, c[0], c[1], c[2])
+		}
+		// Contracted normalisation.
+		var s float64
+		for p := range rs.exps {
+			for q := range rs.exps {
+				s += cc[p] * cc[q] * selfOverlap(rs.exps[p], rs.exps[q], c[0], c[1], c[2])
+			}
+		}
+		inv := 1 / math.Sqrt(s)
+		for p := range cc {
+			cc[p] *= inv
+		}
+		sh.Coefs[ci] = cc
+	}
+	return sh
+}
+
+// Build constructs the named orbital basis for a geometry.
+// Supported names: "sto-3g", "dzp".
+func Build(name string, g *molecule.Geometry) (*Set, error) {
+	table, ok := orbitalBases[name]
+	if !ok {
+		return nil, fmt.Errorf("basis: unknown basis set %q", name)
+	}
+	set := &Set{Name: name, NAtoms: g.N()}
+	for ai, at := range g.Atoms {
+		raws, ok := table[at.Z]
+		if !ok {
+			return nil, fmt.Errorf("basis: %s has no parameters for element Z=%d", name, at.Z)
+		}
+		for _, rs := range raws {
+			sh := newShell(ai, at.Pos, rs)
+			sh.Start = set.N
+			set.N += sh.NCart()
+			set.Shells = append(set.Shells, sh)
+		}
+	}
+	return set, nil
+}
+
+// MaxL returns the largest angular momentum in the set.
+func (s *Set) MaxL() int {
+	m := 0
+	for i := range s.Shells {
+		if s.Shells[i].L > m {
+			m = s.Shells[i].L
+		}
+	}
+	return m
+}
+
+// FuncAtom returns, for every basis function, the index of its atom.
+func (s *Set) FuncAtom() []int {
+	out := make([]int, s.N)
+	for i := range s.Shells {
+		sh := &s.Shells[i]
+		for c := 0; c < sh.NCart(); c++ {
+			out[sh.Start+c] = sh.Atom
+		}
+	}
+	return out
+}
+
+// sto3gS builds the common STO-3G s-contraction coefficient pattern.
+var sto3gSCoef = []float64{0.15432897, 0.53532814, 0.44463454}
+var sto3gSPCoefS = []float64{-0.09996723, 0.39951283, 0.70011547}
+var sto3gSPCoefP = []float64{0.15591627, 0.60768372, 0.39195739}
+
+// orbitalBases maps basis name → element Z → shells.
+var orbitalBases = map[string]map[int][]rawShell{
+	"sto-3g": {
+		1: {
+			{0, []float64{3.42525091, 0.62391373, 0.16885540}, sto3gSCoef},
+		},
+		2: {
+			{0, []float64{6.36242139, 1.15892300, 0.31364979}, sto3gSCoef},
+		},
+		6: {
+			{0, []float64{71.6168370, 13.0450960, 3.5305122}, sto3gSCoef},
+			{0, []float64{2.9412494, 0.6834831, 0.2222899}, sto3gSPCoefS},
+			{1, []float64{2.9412494, 0.6834831, 0.2222899}, sto3gSPCoefP},
+		},
+		7: {
+			{0, []float64{99.1061690, 18.0523120, 4.8856602}, sto3gSCoef},
+			{0, []float64{3.7804559, 0.8784966, 0.2857144}, sto3gSPCoefS},
+			{1, []float64{3.7804559, 0.8784966, 0.2857144}, sto3gSPCoefP},
+		},
+		8: {
+			{0, []float64{130.7093200, 23.8088610, 6.4436083}, sto3gSCoef},
+			{0, []float64{5.0331513, 1.1695961, 0.3803890}, sto3gSPCoefS},
+			{1, []float64{5.0331513, 1.1695961, 0.3803890}, sto3gSPCoefP},
+		},
+	},
+	"dzp": {
+		1: {
+			{0, []float64{5.4471780, 0.8245470}, []float64{0.1562850, 0.9046910}},
+			{0, []float64{0.1831920}, []float64{1.0}},
+			{1, []float64{1.1000000}, []float64{1.0}},
+		},
+		6: {
+			{0, []float64{172.2560, 25.9109, 5.533350}, []float64{0.0617669, 0.3587940, 0.7007130}},
+			{0, []float64{3.6649800, 0.7705450}, []float64{-0.3958970, 1.2158400}},
+			{1, []float64{3.6649800, 0.7705450}, []float64{0.2364600, 0.8606190}},
+			{0, []float64{0.1958570}, []float64{1.0}},
+			{1, []float64{0.1958570}, []float64{1.0}},
+			{2, []float64{0.8000000}, []float64{1.0}},
+		},
+		7: {
+			{0, []float64{242.7660, 36.4851, 7.814490}, []float64{0.0598657, 0.3529550, 0.7065130}},
+			{0, []float64{5.4252200, 1.1491500}, []float64{-0.4133010, 1.2244200}},
+			{1, []float64{5.4252200, 1.1491500}, []float64{0.2379720, 0.8589530}},
+			{0, []float64{0.2832050}, []float64{1.0}},
+			{1, []float64{0.2832050}, []float64{1.0}},
+			{2, []float64{0.8000000}, []float64{1.0}},
+		},
+		8: {
+			{0, []float64{322.0370, 48.4308, 10.42060}, []float64{0.0592394, 0.3515000, 0.7076580}},
+			{0, []float64{7.4029400, 1.5762000}, []float64{-0.4044530, 1.2215600}},
+			{1, []float64{7.4029400, 1.5762000}, []float64{0.2445860, 0.8539550}},
+			{0, []float64{0.3736840}, []float64{1.0}},
+			{1, []float64{0.3736840}, []float64{1.0}},
+			{2, []float64{0.8000000}, []float64{1.0}},
+		},
+	},
+}
+
+// AuxOptions controls even-tempered auxiliary basis generation.
+type AuxOptions struct {
+	// PerL[l] is the number of even-tempered primitives generated for
+	// angular momentum l; missing entries default to defaultAuxPerL.
+	PerL []int
+	// MaxL caps the auxiliary angular momentum (default: orbital MaxL+1).
+	MaxL int
+}
+
+var defaultAuxPerL = []int{10, 8, 6, 4}
+
+// BuildAux generates an even-tempered auxiliary ("RIFIT-like") basis for
+// the geometry, derived from the orbital basis exponent ranges: for each
+// element, products of orbital Gaussians have exponents spanning
+// [2·a_min, 2·a_max], which the generated geometric series covers.
+// This substitutes for cc-pVDZ-RIFIT (see DESIGN.md §2).
+func BuildAux(orb *Set, g *molecule.Geometry, opts AuxOptions) *Set {
+	// Exponent range and max L per element.
+	type rng struct {
+		min, max float64
+		maxL     int
+	}
+	ranges := map[int]*rng{}
+	for i := range orb.Shells {
+		sh := &orb.Shells[i]
+		z := g.Atoms[sh.Atom].Z
+		r, ok := ranges[z]
+		if !ok {
+			r = &rng{min: math.Inf(1)}
+			ranges[z] = r
+		}
+		for _, a := range sh.Exps {
+			r.min = math.Min(r.min, a)
+			r.max = math.Max(r.max, a)
+		}
+		if sh.L > r.maxL {
+			r.maxL = sh.L
+		}
+	}
+
+	perL := func(l int) int {
+		if l < len(opts.PerL) && opts.PerL[l] > 0 {
+			return opts.PerL[l]
+		}
+		if l < len(defaultAuxPerL) {
+			return defaultAuxPerL[l]
+		}
+		return 3
+	}
+
+	set := &Set{Name: orb.Name + "-autoaux", NAtoms: g.N()}
+	for ai, at := range g.Atoms {
+		r := ranges[at.Z]
+		maxL := opts.MaxL
+		if maxL <= 0 {
+			maxL = r.maxL + 1
+		}
+		for l := 0; l <= maxL; l++ {
+			n := perL(l)
+			lo := r.min * 0.8
+			hi := 2 * r.max / math.Pow(2, float64(l))
+			if hi < 8*lo {
+				hi = 8 * lo
+			}
+			ratio := math.Pow(hi/lo, 1/float64(maxInt(n-1, 1)))
+			for k := 0; k < n; k++ {
+				a := lo * math.Pow(ratio, float64(k))
+				sh := newShell(ai, at.Pos, rawShell{l, []float64{a}, []float64{1}})
+				sh.Start = set.N
+				set.N += sh.NCart()
+				set.Shells = append(set.Shells, sh)
+			}
+		}
+	}
+	return set
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// NewCustomShell places and normalises a single shell with explicit
+// parameters; intended for tests and specialised callers.
+func NewCustomShell(atom int, center [3]float64, l int, exps, coefs []float64) Shell {
+	return newShell(atom, center, rawShell{l, exps, coefs})
+}
+
+// FromShells assembles a Set from explicit shells, assigning function
+// offsets in order.
+func FromShells(name string, natoms int, shells ...Shell) *Set {
+	set := &Set{Name: name, NAtoms: natoms}
+	for _, sh := range shells {
+		sh.Start = set.N
+		set.N += sh.NCart()
+		set.Shells = append(set.Shells, sh)
+	}
+	return set
+}

@@ -1,0 +1,127 @@
+package basis
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fragmd/fragmd/internal/molecule"
+)
+
+func TestCartComponents(t *testing.T) {
+	if n := len(CartComponents(0)); n != 1 {
+		t.Errorf("s components = %d", n)
+	}
+	if n := len(CartComponents(1)); n != 3 {
+		t.Errorf("p components = %d", n)
+	}
+	if n := len(CartComponents(2)); n != 6 {
+		t.Errorf("d components = %d", n)
+	}
+	// Canonical order: first d component is xx, last is zz.
+	d := CartComponents(2)
+	if d[0] != [3]int{2, 0, 0} || d[5] != [3]int{0, 0, 2} {
+		t.Errorf("d ordering wrong: %v", d)
+	}
+	// Total angular momentum preserved.
+	for _, c := range CartComponents(3) {
+		if c[0]+c[1]+c[2] != 3 {
+			t.Fatalf("f component %v has wrong total L", c)
+		}
+	}
+}
+
+func TestBuildCounts(t *testing.T) {
+	g := molecule.Water()
+	sto, err := Build("sto-3g", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O: 2s + 1p = 5; each H: 1s. Total 7.
+	if sto.N != 7 {
+		t.Errorf("water sto-3g N = %d, want 7", sto.N)
+	}
+	dzp, err := Build("dzp", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O: 3s + 2p + 1d(cart) = 3 + 6 + 6 = 15; H: 2s + 1p = 5. Total 25.
+	if dzp.N != 25 {
+		t.Errorf("water dzp N = %d, want 25", dzp.N)
+	}
+	if dzp.MaxL() != 2 {
+		t.Errorf("dzp MaxL = %d, want 2", dzp.MaxL())
+	}
+	if _, err := Build("nope", g); err == nil {
+		t.Error("expected unknown-basis error")
+	}
+}
+
+func TestShellOffsets(t *testing.T) {
+	g := molecule.Water()
+	bs, _ := Build("dzp", g)
+	// Start offsets must tile [0, N) without gaps.
+	next := 0
+	for _, sh := range bs.Shells {
+		if sh.Start != next {
+			t.Fatalf("shell start %d, want %d", sh.Start, next)
+		}
+		next += sh.NCart()
+	}
+	if next != bs.N {
+		t.Fatalf("offsets end at %d, want %d", next, bs.N)
+	}
+	fa := bs.FuncAtom()
+	if len(fa) != bs.N {
+		t.Fatal("FuncAtom length")
+	}
+	if fa[0] != 0 || fa[bs.N-1] != 2 {
+		t.Errorf("FuncAtom boundaries: %v", fa)
+	}
+}
+
+func TestAuxGeneration(t *testing.T) {
+	g := molecule.Water()
+	orb, _ := Build("sto-3g", g)
+	aux := BuildAux(orb, g, AuxOptions{})
+	if aux.N <= orb.N {
+		t.Errorf("aux basis (%d) should exceed orbital basis (%d)", aux.N, orb.N)
+	}
+	// All aux shells single-primitive and normalised.
+	for _, sh := range aux.Shells {
+		if len(sh.Exps) != 1 {
+			t.Fatal("aux shells must be uncontracted")
+		}
+	}
+	// Custom sizing respected.
+	small := BuildAux(orb, g, AuxOptions{PerL: []int{2, 1}, MaxL: 1})
+	// Per atom: 2 s + 1 p = 5 functions → 15 total for water.
+	if small.N != 15 {
+		t.Errorf("custom aux N = %d, want 15", small.N)
+	}
+}
+
+func TestNormalisationSelfOverlap(t *testing.T) {
+	// Contracted normalisation must give unit self-overlap for every
+	// component, including mixed d components (xy vs xx).
+	sh := NewCustomShell(0, [3]float64{0, 0, 0}, 2, []float64{1.3, 0.4}, []float64{0.6, 0.5})
+	for ci, comp := range CartComponents(2) {
+		var s float64
+		for p, a := range sh.Exps {
+			for q, b := range sh.Exps {
+				s += sh.Coefs[ci][p] * sh.Coefs[ci][q] * selfOverlap(a, b, comp[0], comp[1], comp[2])
+			}
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Errorf("component %v self-overlap %.14f", comp, s)
+		}
+	}
+}
+
+func TestDoubleFactorial(t *testing.T) {
+	cases := map[int]float64{-1: 1, 0: 1, 1: 1, 3: 3, 5: 15, 7: 105}
+	for n, want := range cases {
+		if got := doubleFactorial(n); got != want {
+			t.Errorf("(%d)!! = %g, want %g", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §4 for the experiment index). Each
+// experiment writes a self-describing report to an io.Writer and returns
+// structured rows where useful. Absolute numbers come from this
+// machine's pure-Go kernels or the cluster simulator; the quantities to
+// compare against the paper are the *shapes* — who wins, scaling
+// exponents, crossovers, percentages of peak.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/fragmd/fragmd/internal/autotune"
+	"github.com/fragmd/fragmd/internal/linalg"
+)
+
+// Config controls experiment sizes.
+type Config struct {
+	// Quick shrinks workloads to development-box scale (default true in
+	// tests; mbebench --full disables it).
+	Quick bool
+	Out   io.Writer
+}
+
+func (c *Config) printf(format string, args ...interface{}) {
+	fmt.Fprintf(c.Out, format, args...)
+}
+
+// Table1 prints the performance-attribute summary (paper Table I),
+// instantiated for this reproduction.
+func Table1(c *Config) {
+	c.printf("Table I — summary of performance attributes (this reproduction)\n")
+	c.printf("  Category of achievement    scalability, peak performance, time-to-solution\n")
+	c.printf("  Type of method             MBE3/RI-MP2 ab initio molecular dynamics\n")
+	c.printf("  Results reported based on  whole application including I/O\n")
+	c.printf("  Precision                  double precision (float64 throughout)\n")
+	c.printf("  System scale               measured kernels + discrete-event full-machine simulation\n")
+	c.printf("  Measurement mechanism      timers + runtime GEMM FLOP count (2mnk per call)\n")
+}
+
+// Fig1Table2 prints the accuracy-vs-size landscape (paper Fig. 1 and
+// Table II): literature state of the art plus this work's points.
+func Fig1Table2(c *Config) {
+	type row struct {
+		theory, kind, system, basis, features, ref string
+		electrons                                  int
+		errKJ                                      float64 // isomerisation error kJ/mol/atom (Fig. 1 y-axis)
+	}
+	rows := []row{
+		{"DFT(LDA/GGA)/HF", "static", "bulk silicon", "planewave", "local orbital", "[8]", 14000000, 0.8},
+		{"DFT(LDA/GGA)/HF", "AIMD", "bulk methanol", "MOLOPT-DZVP", "orbital transformation", "[9]", 18432, 0.8},
+		{"DFT hybrid", "static", "bulk water", "NAO", "RI + NAO", "[10]", 101920, 0.5},
+		{"DFT hybrid", "AIMD", "bulk water", "planewave", "Wannier", "[11]", 2560, 0.5},
+		{"MP2", "static", "ionic liquid cluster", "cc-pVDZ", "RI + fragmentation", "[12]", 623016, 0.35},
+		{"MP2", "AIMD", "bulk water", "aug-cc-pVDZ", "fragmentation", "[13]", 1400, 0.35},
+		{"MP2", "static", "urea cluster", "cc-pVDZ", "RI + fragmentation", "this work", 2043328, 0.35},
+		{"MP2", "AIMD", "urea cluster", "cc-pVDZ", "RI + fragmentation", "this work", 2043328, 0.35},
+		{"CC", "static", "lipid transfer protein", "def2-QZVP", "local orbital", "[14]", 3980, 0.25},
+		{"CC", "AIMD", "bulk water", "aug-cc-pVDZ", "fragmentation", "[15]", 1400, 0.25},
+	}
+	c.printf("Fig. 1 / Table II — largest calculations by level of theory (literature + this work)\n")
+	c.printf("%-18s %-7s %-24s %-12s %10s %8s  %s\n", "theory", "kind", "system", "basis", "electrons", "err", "ref")
+	for _, r := range rows {
+		c.printf("%-18s %-7s %-24s %-12s %10d %8.2f  %s\n",
+			r.theory, r.kind, r.system, r.basis, r.electrons, r.errKJ, r.ref)
+	}
+	c.printf("\nShape to verify: the MP2 rows (this work) extend AIMD system size by >1000×\n")
+	c.printf("at fixed ~0.35 kJ/mol/atom accuracy, matching the paper's claim.\n")
+}
+
+// GemmShape is one Table IV matrix shape.
+type GemmShape struct{ M, K, N int }
+
+// Table4 benchmarks the four GEMM variants on the paper's three RI-MP2
+// gradient shapes (paper Table IV). On CPU the shapes are scaled down by
+// /8 in the K dimension under Quick to keep runtime sane; the point is
+// the *variant spread*, which the auto-tuner exploits.
+func Table4(c *Config) {
+	shapes := []GemmShape{
+		{960, 324480, 960},
+		{120, 2957880, 120},
+		{192, 738048, 192},
+	}
+	div := 96
+	if !c.Quick {
+		div = 8
+	}
+	c.printf("Table IV — DGEMM variant performance on RI-MP2 gradient shapes (K scaled /%d)\n", div)
+	c.printf("%8s %9s %6s  %10s %10s %10s %10s   best\n", "m", "k", "n", "NN", "NT", "TN", "TT")
+	for _, s := range shapes {
+		k := s.K / div
+		a := linalg.NewMat(s.M, k)
+		b := linalg.NewMat(k, s.N)
+		for i := range a.Data {
+			a.Data[i] = 1e-3 * float64(i%97)
+		}
+		for i := range b.Data {
+			b.Data[i] = 1e-3 * float64(i%89)
+		}
+		out := linalg.NewMat(s.M, s.N)
+		var rates [4]float64
+		best := 0
+		for v := 0; v < 4; v++ {
+			tA := v == 2 || v == 3
+			tB := v == 1 || v == 3
+			pa, pb := a, b
+			if tA {
+				pa = a.T()
+			}
+			if tB {
+				pb = b.T()
+			}
+			start := time.Now()
+			linalg.Gemm(linalg.Transpose(tA), linalg.Transpose(tB), 1, pa, pb, 0, out)
+			el := time.Since(start).Seconds()
+			rates[v] = 2 * float64(s.M) * float64(k) * float64(s.N) / el / 1e9
+			if rates[v] > rates[best] {
+				best = v
+			}
+		}
+		c.printf("%8d %9d %6d  %9.2f %9.2f %9.2f %9.2f   %s\n",
+			s.M, k, s.N, rates[0], rates[1], rates[2], rates[3], linalg.Variant(best))
+	}
+	c.printf("\nShape to verify: variant spread per shape (paper saw up to 20×), with the\n")
+	c.printf("winner varying across shapes — the premise of runtime auto-tuning (§V-G).\n")
+}
+
+// AutotuneAblation measures the end-to-end speedup from the runtime
+// GEMM auto-tuner on a repeated RI-MP2-like contraction sequence, the
+// §V-G experiment (paper: 13 % urea, 12 % paracetamol on one GCD).
+func AutotuneAblation(c *Config) {
+	nbf, naux, nocc := 96, 320, 24
+	reps := 30
+	if !c.Quick {
+		nbf, naux, nocc, reps = 160, 520, 40, 60
+	}
+	run := func(tuner *autotune.Tuner) float64 {
+		b := linalg.NewMat(naux, nbf*nbf)
+		co := linalg.NewMat(nbf, nocc)
+		d := linalg.NewMat(nbf*nbf, 1)
+		for i := range b.Data {
+			b.Data[i] = float64(i%13) * 1e-3
+		}
+		for i := range co.Data {
+			co.Data[i] = float64(i%7) * 1e-2
+		}
+		start := time.Now()
+		u := linalg.NewMat(naux, 1)
+		jv := linalg.NewMat(nbf*nbf, 1)
+		bp := linalg.NewMat(nbf, nbf)
+		for i := range bp.Data {
+			bp.Data[i] = float64(i%11) * 1e-3
+		}
+		tp := linalg.NewMat(nbf, nocc)
+		for r := 0; r < reps; r++ {
+			// The RI Fock GEMM sequence (Eq. 8): Coulomb + exchange.
+			tuner.Gemm(linalg.NoTrans, linalg.NoTrans, 1, b, d, 0, u)
+			tuner.Gemm(linalg.Trans, linalg.NoTrans, 1, b, u, 0, jv)
+			for p := 0; p < naux; p += 8 {
+				tuner.Gemm(linalg.NoTrans, linalg.NoTrans, 1, bp, co, 0, tp)
+			}
+		}
+		return time.Since(start).Seconds()
+	}
+	off := autotune.New()
+	off.Enabled = false
+	tOff := run(off)
+	tOn := run(autotune.New())
+	gain := 100 * (tOff - tOn) / tOff
+	c.printf("§V-G — GEMM auto-tuning ablation (RI Fock sequence, nbf=%d naux=%d)\n", nbf, naux)
+	c.printf("  tuner off: %8.3f s\n  tuner on:  %8.3f s\n  speedup:   %+7.1f%%   (paper: +12–13%%)\n",
+		tOff, tOn, gain)
+}

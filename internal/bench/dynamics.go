@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/fragmd/fragmd/internal/basis"
+	"github.com/fragmd/fragmd/internal/chem"
+	"github.com/fragmd/fragmd/internal/cluster"
+	"github.com/fragmd/fragmd/internal/fragment"
+	"github.com/fragmd/fragmd/internal/md"
+	"github.com/fragmd/fragmd/internal/molecule"
+	"github.com/fragmd/fragmd/internal/potential"
+	"github.com/fragmd/fragmd/internal/sched"
+)
+
+func timeNow() time.Time            { return time.Now() }
+func timeSince(t time.Time) float64 { return time.Since(t).Seconds() }
+
+// Fig5 reproduces the dimer/trimer energy-contribution analysis (paper
+// Fig. 5): |ΔE| against centroid separation for a protein-fibril
+// analogue, from which the cutoffs are chosen where contributions fall
+// below 0.1 kJ/mol.
+func Fig5(c *Config) {
+	strands, residues := 1, 4
+	opts := fragment.Options{TrimerCutoff: 8 * chem.BohrPerAngstrom}
+	auxOpts := basis.AuxOptions{PerL: []int{4, 3, 2}}
+	if !c.Quick {
+		strands, residues = 2, 4
+		opts = fragment.Options{}
+		auxOpts = glyAuxOpts
+	}
+	g, monomers := molecule.BetaFibril(strands, residues)
+	f, err := fragment.New(g, monomers, opts)
+	if err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	// Energy-only: the cutoff scan needs ΔE values, not forces.
+	res, err := f.Compute(&potential.RIMP2{Basis: "sto-3g", AuxOpts: auxOpts, EnergyOnly: true})
+	if err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	c.printf("Fig. 5 — MBE energy contributions vs centroid distance (β-fibril analogue,\n")
+	c.printf("%d strands × %d residues, %d atoms, RI-MP2/sto-3g)\n", strands, residues, g.N())
+	c.printf("%8s %6s %14s\n", "dist(Å)", "order", "|ΔE| kJ/mol")
+	threshold := 0.1 // kJ/mol, the paper's negligibility line
+	var maxBeyond10 float64
+	for _, ct := range f.Contributions(res) {
+		kj := math.Abs(ct.DeltaE) * chem.KJPerMolPerHartree
+		c.printf("%8.2f %6d %14.4f\n", ct.Dist*chem.AngstromPerBohr, ct.Order, kj)
+		if ct.Dist*chem.AngstromPerBohr > 10 && kj > maxBeyond10 {
+			maxBeyond10 = kj
+		}
+	}
+	c.printf("\nShape to verify: contributions decay with distance; beyond ~10 Å the largest\n")
+	c.printf("is %.4f kJ/mol (cutoff criterion: drop below %.1f kJ/mol, §VII-A).\n", maxBeyond10, threshold)
+}
+
+// Fig6 reproduces the total-energy conservation trajectory (paper
+// Fig. 6): NVE AIMD with asynchronous time steps; the total energy must
+// fluctuate without drifting.
+func Fig6(c *Config) {
+	var f *fragment.Fragmentation
+	var eval fragment.Evaluator
+	var steps int
+	var dtFs float64
+	if c.Quick {
+		// Real MBE3/RI-MP2 dynamics on a small water cluster.
+		g := molecule.WaterCluster(3)
+		var err error
+		f, err = fragment.ByMolecule(g, 3, 1, fragment.Options{})
+		if err != nil {
+			c.printf("error: %v\n", err)
+			return
+		}
+		eval = &potential.RIMP2{Basis: "sto-3g", AuxOpts: glyAuxOpts}
+		steps, dtFs = 6, 0.5
+	} else {
+		// Longer trajectory on the 6PQ5-analogue with the surrogate
+		// potential (full QC would take days on a dev box).
+		g, monomers := molecule.BetaFibril(6, 6)
+		var err error
+		f, err = fragment.New(g, monomers, fragment.Options{
+			DimerCutoff:  22 * chem.BohrPerAngstrom,
+			TrimerCutoff: 9 * chem.BohrPerAngstrom,
+		})
+		if err != nil {
+			c.printf("error: %v\n", err)
+			return
+		}
+		eval = &potential.LennardJones{}
+		steps, dtFs = 200, 1.0
+	}
+	eng, err := sched.New(f, eval, sched.Options{Workers: 2, Async: true, Dt: dtFs * chem.AtomicTimePerFs})
+	if err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	state := md.NewState(f.Geom.Clone())
+	state.SampleVelocities(150, rand.New(rand.NewSource(42)))
+	c.printf("Fig. 6 — NVE total energy with asynchronous time steps (%d atoms, dt=%.2f fs)\n",
+		f.Geom.N(), dtFs)
+	c.printf("%6s %18s %14s %14s\n", "step", "Etot (Ha)", "Ekin (Ha)", "drift (µHa)")
+	var e0 float64
+	stats, err := eng.Run(state, steps, nil)
+	if err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	var maxDrift float64
+	for i, st := range stats {
+		if i == 0 {
+			e0 = st.Etot
+		}
+		drift := (st.Etot - e0) * 1e6
+		if math.Abs(drift) > maxDrift {
+			maxDrift = math.Abs(drift)
+		}
+		if i%maxInt(1, steps/12) == 0 || i == steps-1 {
+			c.printf("%6d %18.8f %14.8f %14.2f\n", st.Step, st.Etot, st.Ekin, drift)
+		}
+	}
+	c.printf("\nShape to verify: bounded fluctuation, no secular drift (max |ΔE| = %.2f µHa).\n", maxDrift)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AsyncAblation measures async vs synchronous time stepping with the
+// real in-process engine (paper §VII-A: 24 % on 6PQ5, 40 % on 2BEG) and
+// with the cluster simulator at the paper's node counts.
+func AsyncAblation(c *Config) {
+	// In-process: surrogate potential with per-fragment compute delay to
+	// emulate heterogeneous fragment costs on limited cores.
+	g, monomers := molecule.BetaFibril(3, 4)
+	f, err := fragment.New(g, monomers, fragment.Options{
+		DimerCutoff:  22 * chem.BohrPerAngstrom,
+		TrimerCutoff: 9 * chem.BohrPerAngstrom,
+	})
+	if err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	delay := 0.01
+	if !c.Quick {
+		delay = 0.03
+	}
+	eval := &potential.LennardJones{Delay: delay}
+	run := func(async bool) float64 {
+		eng, err := sched.New(f, eval, sched.Options{Workers: 4, Async: async, Dt: 0.5 * chem.AtomicTimePerFs})
+		if err != nil {
+			return math.NaN()
+		}
+		state := md.NewState(f.Geom.Clone())
+		state.SampleVelocities(100, rand.New(rand.NewSource(7)))
+		start := timeNow()
+		if _, err := eng.Run(state, 4, nil); err != nil {
+			return math.NaN()
+		}
+		// Total makespan: per-step spans overlap under async and would
+		// double-count.
+		return timeSince(start)
+	}
+	tSync := run(false)
+	tAsync := run(true)
+	c.printf("§VII-A — asynchronous vs synchronous time steps\n\n")
+	c.printf("In-process engine (β-fibril analogue, %d monomers, 4 workers):\n", len(monomers))
+	c.printf("  sync:  %7.2f s   async: %7.2f s   gain: %+5.1f%%\n",
+		tSync, tAsync, 100*(tSync/tAsync-1))
+	c.printf("  (on a few-core host the async gain is bounded by real CPU capacity;\n")
+	c.printf("   the machine simulation below shows the at-scale behaviour)\n")
+
+	// Cluster simulation at the paper's scales.
+	c.printf("\nCluster simulation:\n")
+	type caseSpec struct {
+		name    string
+		w       *cluster.Workload
+		m       cluster.Machine
+		nodes   int
+		paperPc float64
+	}
+	cases := []caseSpec{
+		{"6PQ5 analogue, 64 Perlmutter nodes", cluster.FibrilWorkload(6, 6, 22, 9), cluster.Perlmutter(), 64, 24},
+		{"2BEG analogue, 1024 Perlmutter nodes", cluster.FibrilWorkload(4, 53, 20, 12), cluster.Perlmutter(), 1024, 40},
+	}
+	for _, cs := range cases {
+		a, err := cluster.Simulate(cs.w, cs.m, cluster.Options{Nodes: cs.nodes, Steps: 5, Async: true})
+		if err != nil {
+			c.printf("  error: %v\n", err)
+			continue
+		}
+		s, err := cluster.Simulate(cs.w, cs.m, cluster.Options{Nodes: cs.nodes, Steps: 5, Async: false})
+		if err != nil {
+			c.printf("  error: %v\n", err)
+			continue
+		}
+		c.printf("  %-38s async %6.2f s/step, sync %6.2f s/step, gain %+5.1f%% (paper: +%.0f%%)\n",
+			cs.name, a.AvgStep, s.AvgStep, 100*(s.AvgStep/a.AvgStep-1), cs.paperPc)
+	}
+	c.printf("\nShape to verify: async is consistently faster by tens of percent, more so\n")
+	c.printf("when polymer count per worker is small (2BEG case).\n")
+}

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"time"
+
+	"github.com/fragmd/fragmd/internal/basis"
+	"github.com/fragmd/fragmd/internal/chem"
+	"github.com/fragmd/fragmd/internal/cluster"
+	"github.com/fragmd/fragmd/internal/fragment"
+	"github.com/fragmd/fragmd/internal/molecule"
+	"github.com/fragmd/fragmd/internal/mp2"
+	"github.com/fragmd/fragmd/internal/potential"
+	"github.com/fragmd/fragmd/internal/scf"
+)
+
+// glyAuxOpts keeps auxiliary bases modest for the CPU-bound runs.
+var glyAuxOpts = basis.AuxOptions{PerL: []int{6, 4, 3}}
+
+// glyFragmentation fragments Gly_n into per-residue monomers with the
+// paper's MBE3 cutoffs (20 Å dimers, 13 Å trimers, Table III).
+func glyFragmentation(n int) (*fragment.Fragmentation, error) {
+	g, residues := molecule.Polyglycine(n)
+	return fragment.New(g, residues, fragment.Options{
+		DimerCutoff:  20 * chem.BohrPerAngstrom,
+		TrimerCutoff: 13 * chem.BohrPerAngstrom,
+	})
+}
+
+// Table3 reproduces the single-time-step latency comparison (paper
+// Table III): conventional (non-fragmented, non-RI) HF+MP2 gradients vs
+// the MBE3/RI-MP2 pipeline, on polyglycine chains. The conventional
+// column is measured directly at small n where it is feasible and its
+// O(N⁵) wall is evident; the paper's published package timings are
+// reprinted for reference.
+func Table3(c *Config) {
+	lengths := []int{1, 2}
+	if !c.Quick {
+		lengths = []int{2, 4, 6}
+	}
+	c.printf("Table III — single AIMD time-step latency, Gly_n (this machine, %s basis)\n", "sto-3g")
+	c.printf("%6s %8s  %16s %16s %10s\n", "n", "atoms", "conventional (s)", "MBE3/RI-MP2 (s)", "speedup")
+
+	convMax := 2
+	if !c.Quick {
+		convMax = 5 // the stored-ERI tensor alone reaches ~10 GB by Gly8
+	}
+	for _, n := range lengths {
+		g, _ := molecule.Polyglycine(n)
+
+		// Conventional path: unfragmented in-core HF (stored four-center
+		// ERIs, the classic CPU-package mode) + O(N⁵) conventional MP2.
+		// The gradient is omitted here — it would only slow this column
+		// further, so the reported speedups are lower bounds.
+		var tConv float64
+		if n <= convMax { // the O(N⁴–⁵) wall makes larger n impractical — which is the point
+			start := time.Now()
+			bs, err := basis.Build("sto-3g", g)
+			if err != nil {
+				c.printf("  error: %v\n", err)
+				return
+			}
+			ref, err := scf.RHF(g, bs, scf.Options{StoredERI: true})
+			if err == nil {
+				_, _ = mp2.ConventionalMP2(ref, ref.ERI)
+			}
+			tConv = time.Since(start).Seconds()
+		}
+
+		// MBE3/RI-MP2 path (full analytic gradient on every polymer).
+		f, err := glyFragmentation(n)
+		if err != nil {
+			c.printf("  error: %v\n", err)
+			return
+		}
+		start := time.Now()
+		if _, err := f.Compute(&potential.RIMP2{Basis: "sto-3g", AuxOpts: glyAuxOpts}); err != nil {
+			c.printf("  error: %v\n", err)
+			return
+		}
+		tMBE := time.Since(start).Seconds()
+
+		if tConv > 0 {
+			c.printf("%6d %8d  %16.2f %16.2f %9.1fx\n", n, g.N(), tConv, tMBE, tConv/tMBE)
+		} else {
+			c.printf("%6d %8d  %16s %16.2f %10s\n", n, g.N(), "(intractable)", tMBE, "—")
+		}
+	}
+
+	c.printf("\nPaper reference (cc-pVDZ, seconds/time step):\n")
+	c.printf("%6s %8s %8s %8s %8s %12s %12s\n", "n", "Orca", "Q-Chem", "GAMESS", "NWChem", "EXESS 4xA100", "EXESS 16xA100")
+	for _, r := range [][7]interface{}{
+		{10, 297, 252, 258, 1477, 2.7, 1.1},
+		{15, 1976, 1050, 1573, "—", 4.4, 1.4},
+		{20, 6213, 5710, "—", "—", 6.4, 1.6},
+	} {
+		c.printf("%6v %8v %8v %8v %8v %12v %12v\n", r[0], r[1], r[2], r[3], r[4], r[5], r[6])
+	}
+	c.printf("\nShape to verify: MBE3+RI grows ~linearly with n while the conventional\n")
+	c.printf("path grows ~quintically, giving orders of magnitude at Gly20 scale.\n")
+
+	// Simulated GPU latency via the cluster cost model for the paper's n.
+	c.printf("\nSimulated 4-GPU (A100 model) MBE3/RI-MP2 latency via the cost model:\n")
+	m := cluster.Perlmutter()
+	for _, n := range []int{10, 15, 20} {
+		w := glycineWorkload(n)
+		r, err := cluster.Simulate(w, m, cluster.Options{Nodes: 1, Steps: 2, Async: true})
+		if err != nil {
+			c.printf("  error: %v\n", err)
+			return
+		}
+		c.printf("  Gly%-3d %6.2f s/step  (paper EXESS 4xA100: 2.7 / 4.4 / 6.4 s)\n", n, r.AvgStep)
+	}
+}
+
+// glycineWorkload builds a cluster workload matching Gly_n fragmented
+// per residue at cc-pVDZ scale.
+func glycineWorkload(n int) *cluster.Workload {
+	var monomers []cluster.MonomerSpec
+	for r := 0; r < n; r++ {
+		c := [3]float64{float64(r) * 3.63, 0, 0}
+		sp := cluster.MonomerSpec{Centroid: c, Atoms: 7, NBf: 3*15 + 4*5, NOcc: 15}
+		sp.NBf += 10 // cap contributions
+		sp.NAux = sp.NBf * 33 / 10
+		if r > 0 {
+			sp.Bonded = append(sp.Bonded, r-1)
+		}
+		if r < n-1 {
+			sp.Bonded = append(sp.Bonded, r+1)
+		}
+		monomers = append(monomers, sp)
+	}
+	return cluster.NewWorkload(monomers, 20, 13)
+}
+
+// Fig3 reproduces the RI-HF ablation (paper Fig. 3): the execution time
+// of an HF+RI-MP2 gradient with the conventional four-center HF versus
+// the all-RI formulation, across chain lengths. The paper reports up to
+// 6× for small fragments on A100s; the pure-Go kernels show the same
+// direction because the four-center integral count dwarfs the RI GEMMs.
+func Fig3(c *Config) {
+	lengths := []int{1}
+	if !c.Quick {
+		lengths = []int{1, 2}
+	}
+	c.printf("Fig. 3 — RI-MP2 gradient with conventional-HF vs RI-HF (Gly_n, sto-3g)\n")
+	c.printf("%6s %8s  %14s %14s %9s\n", "n", "nbf", "conv-HF (s)", "RI-HF (s)", "speedup")
+	for _, n := range lengths {
+		g, _ := molecule.Polyglycine(n)
+		bs, err := basis.Build("sto-3g", g)
+		if err != nil {
+			c.printf("  error: %v\n", err)
+			return
+		}
+		// Conventional-HF reference + conventional MP2 with the full
+		// four-center HF gradient (the pre-RI-HF state of the art).
+		start := time.Now()
+		refConv, err := scf.RHF(g, bs, scf.Options{StoredERI: true})
+		if err == nil {
+			_ = refConv.Gradient()
+			_, _ = mp2.ConventionalMP2(refConv, refConv.ERI)
+		}
+		tConv := time.Since(start).Seconds()
+
+		// All-RI: RI-HF + RI-MP2 with the full analytic gradient.
+		start = time.Now()
+		refRI, err := scf.RHF(g, bs, scf.Options{UseRI: true, AuxOpts: glyAuxOpts})
+		if err == nil {
+			if r, err2 := mp2.RIMP2(refRI, mp2.Options{}); err2 == nil {
+				_, _ = r.Gradient()
+			}
+		}
+		tRI := time.Since(start).Seconds()
+		c.printf("%6d %8d  %14.2f %14.2f %8.1fx\n", n, bs.N, tConv, tRI, tConv/tRI)
+	}
+	c.printf("\nShape to verify: RI-HF wins at every size, with the largest factors for\n")
+	c.printf("small fragments (paper: up to 6×), because four-center ERIs dominate there.\n")
+}

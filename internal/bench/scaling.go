@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"github.com/fragmd/fragmd/internal/cluster"
+)
+
+// Fig7 reproduces the strong-scaling study (paper Fig. 7): the
+// 80-molecule paracetamol sphere on Perlmutter (64→1,536 nodes, 91 %
+// efficiency at full machine) and the 24,000- and 44,532-molecule urea
+// clusters on Frontier (1,024→4,096 and 6,164→9,400 nodes at 92 % and
+// 87 %). Under Quick the urea systems are scaled down 10× with node
+// counts scaled to match.
+func Fig7(c *Config) {
+	c.printf("Fig. 7 — strong scaling (discrete-event machine simulation)\n\n")
+
+	para := cluster.ParacetamolWorkload(80, 18, 18)
+	c.printf("Perlmutter, 80-molecule paracetamol sphere: %s\n", para)
+	perlNodes := []int{64, 128, 256, 512, 1024, 1536}
+	runScaling(c, para, cluster.Perlmutter(), perlNodes, "paper: 91%% at 1,536 nodes")
+
+	ureaSmallMols, ureaBigMols := 24000, 44532
+	frontierSmall := []int{1024, 2048, 4096}
+	frontierBig := []int{6164, 8192, 9400}
+	if c.Quick {
+		ureaSmallMols, ureaBigMols = 2400, 4440
+		frontierSmall = []int{102, 205, 410}
+		frontierBig = []int{616, 820, 940}
+	}
+	ureaS := cluster.UreaWorkload(ureaSmallMols, 4, 15.3, 15.3)
+	c.printf("\nFrontier, %d-molecule urea cluster: %s\n", ureaSmallMols, ureaS)
+	runScaling(c, ureaS, cluster.Frontier(), frontierSmall, "paper: 92%% at 4,096 nodes")
+
+	ureaB := cluster.UreaWorkload(ureaBigMols, 4, 15.3, 15.3)
+	c.printf("\nFrontier, %d-molecule urea cluster: %s\n", ureaBigMols, ureaB)
+	runScaling(c, ureaB, cluster.Frontier(), frontierBig, "paper: 87%% at 9,400 nodes")
+}
+
+func runScaling(c *Config, w *cluster.Workload, m cluster.Machine, nodes []int, note string) {
+	c.printf("%8s %10s %12s %10s %10s\n", "nodes", "s/step", "PFLOP/s", "% peak", "par.eff")
+	var base *cluster.Result
+	for _, n := range nodes {
+		r, err := cluster.Simulate(w, m, cluster.Options{Nodes: n, Steps: 3, Async: true})
+		if err != nil {
+			c.printf("  error at %d nodes: %v\n", n, err)
+			return
+		}
+		if base == nil {
+			base = r
+		}
+		eff := base.AvgStep / r.AvgStep * float64(base.Nodes) / float64(r.Nodes)
+		c.printf("%8d %10.2f %12.2f %9.0f%% %9.0f%%\n",
+			n, r.AvgStep, r.PFLOPS, 100*r.PeakFraction, 100*eff)
+	}
+	c.printf("  (%s)\n", note)
+}
+
+// Fig8 reproduces the weak-scaling study (paper Fig. 8): growing urea
+// spheres keeping ≈4 polymers per GCD from 512 to 4,096 Frontier nodes
+// (Quick: 32→256), with the slight 4,096-node dip from coordinator
+// (dynamic load balancing) overhead.
+func Fig8(c *Config) {
+	nodes := []int{32, 64, 128, 256}
+	if !c.Quick {
+		nodes = []int{512, 1024, 2048, 4096}
+	}
+	m := cluster.Frontier()
+	c.printf("Fig. 8 — weak scaling, ~4 polymers per GCD (machine simulation)\n")
+	c.printf("%8s %10s %12s %10s %10s %12s\n", "nodes", "polymers", "s/step", "% peak", "weak eff", "poly/GCD")
+	var base *cluster.Result
+	for _, n := range nodes {
+		gcds := n * m.GCDsPerNode
+		w := cluster.UreaWorkloadPolymerTarget(4*gcds, 4, 15.3, 15.3)
+		r, err := cluster.Simulate(w, m, cluster.Options{Nodes: n, Steps: 3, Async: true})
+		if err != nil {
+			c.printf("  error at %d nodes: %v\n", n, err)
+			return
+		}
+		if base == nil {
+			base = r
+		}
+		weakEff := base.AvgStep / r.AvgStep
+		c.printf("%8d %10d %12.2f %9.0f%% %9.0f%% %11.1f\n",
+			n, len(w.Polymers), r.AvgStep, 100*r.PeakFraction, 100*weakEff,
+			float64(len(w.Polymers))/float64(gcds))
+	}
+	c.printf("  (paper: near-flat with a slight efficiency drop at 4,096 nodes from\n")
+	c.printf("   dynamic-load-balancing communication overheads)\n")
+}
+
+// Table5 reproduces the record runs (paper Table V / §VII-C): several
+// AIMD steps of the 44,532- and 63,854-molecule urea systems on 9,400
+// Frontier nodes — the million-electron, ~1 EFLOP/s-class runs — plus
+// the 3.4 s/step 2BEG protein run on 1,024 Perlmutter nodes. Under
+// Quick the urea systems are scaled down 20× (with nodes scaled to
+// match); --full runs the paper-size workloads (minutes of enumeration).
+func Table5(c *Config) {
+	c.printf("Table V — record performance and time-step latency (machine simulation)\n\n")
+	type spec struct {
+		mols, nodes int
+		note        string
+	}
+	specs := []spec{{44532, 9400, "paper: 13.7 min/step, 932.6 PFLOP/s"},
+		{63854, 9400, "paper: 25.6 min/step, 1006.7 PFLOP/s (59% of peak), 1.55 ZFLOP total"}}
+	if c.Quick {
+		specs = []spec{{2226, 470, "scaled 1/20 of the 44,532-molecule run"},
+			{3192, 470, "scaled 1/20 of the 63,854-molecule run"}}
+	}
+	m := cluster.Frontier()
+	for _, s := range specs {
+		w := cluster.UreaWorkload(s.mols, 4, 15.3, 15.3)
+		r, err := cluster.Simulate(w, m, cluster.Options{Nodes: s.nodes, Steps: 3, Async: true})
+		if err != nil {
+			c.printf("  error: %v\n", err)
+			continue
+		}
+		c.printf("Urea %d molecules (%d electrons) on %d Frontier nodes:\n", s.mols, w.Electrons(), s.nodes)
+		c.printf("  %s\n", w)
+		c.printf("  %.1f min/step, %.1f PFLOP/s sustained (%.0f%% of sustained peak), %.2f ZFLOP/step\n",
+			r.AvgStep/60, r.PFLOPS, 100*r.PeakFraction, r.TotalFLOPs/float64(r.Steps)/1e21)
+		c.printf("  (%s)\n\n", s.note)
+	}
+
+	w2beg := cluster.FibrilWorkload(4, 53, 20, 12)
+	r, err := cluster.Simulate(w2beg, cluster.Perlmutter(), cluster.Options{Nodes: 1024, Steps: 5, Async: true})
+	if err != nil {
+		c.printf("  error: %v\n", err)
+		return
+	}
+	c.printf("2BEG analogue (%d atoms-scale workload) on 1,024 Perlmutter nodes:\n", 1496)
+	c.printf("  %s\n", w2beg)
+	c.printf("  %.2f s/step → %.1f ps/day at 1 fs steps (paper: 3.4 s/step, 25 ps/day)\n",
+		r.AvgStep, 86400/r.AvgStep/1000)
+	c.printf("\nShape to verify: >10⁶-electron workloads sustain >50%% of machine peak;\n")
+	c.printf("the protein system reaches seconds-per-step latency.\n")
+}

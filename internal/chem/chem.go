@@ -1,0 +1,108 @@
+// Package chem provides element data, physical constants and unit
+// conversions shared by the chemistry layers. All internal computation is
+// in Hartree atomic units; conversions are applied only at the I/O
+// boundary.
+package chem
+
+import "fmt"
+
+// Physical constants and unit conversions (CODATA 2018 values).
+const (
+	// BohrPerAngstrom converts Å → Bohr.
+	BohrPerAngstrom = 1.0 / 0.529177210903
+	// AngstromPerBohr converts Bohr → Å.
+	AngstromPerBohr = 0.529177210903
+	// KJPerMolPerHartree converts Hartree → kJ/mol.
+	KJPerMolPerHartree = 2625.4996394799
+	// AmuToElectronMass converts unified atomic mass units → mₑ.
+	AmuToElectronMass = 1822.888486209
+	// FsPerAtomicTime converts atomic time units → femtoseconds.
+	FsPerAtomicTime = 0.02418884326509
+	// AtomicTimePerFs converts femtoseconds → atomic time units.
+	AtomicTimePerFs = 1.0 / FsPerAtomicTime
+	// KelvinPerHartree converts Hartree → Kelvin (E/k_B).
+	KelvinPerHartree = 315775.02480407
+)
+
+// Element describes one chemical element.
+type Element struct {
+	Z              int
+	Symbol         string
+	Name           string
+	MassAMU        float64 // standard atomic weight
+	CovalentRadius float64 // Bohr
+}
+
+// elements indexed by atomic number (0 unused). Covalent radii are the
+// Cordero 2008 single-bond values converted to Bohr.
+var elements = []Element{
+	{},
+	{1, "H", "hydrogen", 1.00794, 0.31 * BohrPerAngstrom},
+	{2, "He", "helium", 4.002602, 0.28 * BohrPerAngstrom},
+	{3, "Li", "lithium", 6.941, 1.28 * BohrPerAngstrom},
+	{4, "Be", "beryllium", 9.012182, 0.96 * BohrPerAngstrom},
+	{5, "B", "boron", 10.811, 0.84 * BohrPerAngstrom},
+	{6, "C", "carbon", 12.0107, 0.76 * BohrPerAngstrom},
+	{7, "N", "nitrogen", 14.0067, 0.71 * BohrPerAngstrom},
+	{8, "O", "oxygen", 15.9994, 0.66 * BohrPerAngstrom},
+	{9, "F", "fluorine", 18.9984032, 0.57 * BohrPerAngstrom},
+	{10, "Ne", "neon", 20.1797, 0.58 * BohrPerAngstrom},
+	{11, "Na", "sodium", 22.98976928, 1.66 * BohrPerAngstrom},
+	{12, "Mg", "magnesium", 24.3050, 1.41 * BohrPerAngstrom},
+	{13, "Al", "aluminium", 26.9815386, 1.21 * BohrPerAngstrom},
+	{14, "Si", "silicon", 28.0855, 1.11 * BohrPerAngstrom},
+	{15, "P", "phosphorus", 30.973762, 1.07 * BohrPerAngstrom},
+	{16, "S", "sulfur", 32.065, 1.05 * BohrPerAngstrom},
+	{17, "Cl", "chlorine", 35.453, 1.02 * BohrPerAngstrom},
+	{18, "Ar", "argon", 39.948, 1.06 * BohrPerAngstrom},
+}
+
+var symbolToZ = func() map[string]int {
+	m := make(map[string]int, len(elements))
+	for _, e := range elements[1:] {
+		m[e.Symbol] = e.Z
+	}
+	return m
+}()
+
+// ByZ returns the element with atomic number z.
+func ByZ(z int) (Element, error) {
+	if z <= 0 || z >= len(elements) {
+		return Element{}, fmt.Errorf("chem: unsupported atomic number %d", z)
+	}
+	return elements[z], nil
+}
+
+// BySymbol returns the element with the given symbol (case-sensitive,
+// e.g. "He").
+func BySymbol(sym string) (Element, error) {
+	z, ok := symbolToZ[sym]
+	if !ok {
+		return Element{}, fmt.Errorf("chem: unknown element symbol %q", sym)
+	}
+	return elements[z], nil
+}
+
+// Symbol returns the symbol for atomic number z, or "X?" if unknown.
+func Symbol(z int) string {
+	if z <= 0 || z >= len(elements) {
+		return fmt.Sprintf("X%d", z)
+	}
+	return elements[z].Symbol
+}
+
+// MassAMU returns the standard atomic weight for z (0 if unknown).
+func MassAMU(z int) float64 {
+	if z <= 0 || z >= len(elements) {
+		return 0
+	}
+	return elements[z].MassAMU
+}
+
+// CovalentRadius returns the covalent radius in Bohr (0 if unknown).
+func CovalentRadius(z int) float64 {
+	if z <= 0 || z >= len(elements) {
+		return 0
+	}
+	return elements[z].CovalentRadius
+}

@@ -1,0 +1,52 @@
+package chem
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLookups(t *testing.T) {
+	o, err := BySymbol("O")
+	if err != nil || o.Z != 8 {
+		t.Fatalf("BySymbol(O): %v %v", o, err)
+	}
+	c, err := ByZ(6)
+	if err != nil || c.Symbol != "C" {
+		t.Fatalf("ByZ(6): %v %v", c, err)
+	}
+	if _, err := BySymbol("Xx"); err == nil {
+		t.Error("expected unknown-symbol error")
+	}
+	if _, err := ByZ(0); err == nil {
+		t.Error("expected out-of-range error")
+	}
+	if Symbol(1) != "H" || Symbol(99) == "H" {
+		t.Error("Symbol lookup")
+	}
+	if MassAMU(1) < 1.0 || MassAMU(1) > 1.1 {
+		t.Errorf("H mass = %g", MassAMU(1))
+	}
+	if CovalentRadius(6) <= CovalentRadius(1) {
+		t.Error("C radius should exceed H radius")
+	}
+}
+
+func TestUnitRoundTrips(t *testing.T) {
+	if math.Abs(BohrPerAngstrom*AngstromPerBohr-1) > 1e-14 {
+		t.Error("length conversion not reciprocal")
+	}
+	if math.Abs(FsPerAtomicTime*AtomicTimePerFs-1) > 1e-14 {
+		t.Error("time conversion not reciprocal")
+	}
+	// 1 Hartree ≈ 2625.5 kJ/mol and ≈ 315,775 K.
+	if math.Abs(KJPerMolPerHartree-2625.5) > 0.1 {
+		t.Error("energy conversion off")
+	}
+	if math.Abs(KelvinPerHartree-315775) > 1 {
+		t.Error("temperature conversion off")
+	}
+	// Proton/electron mass ratio ≈ 1836.
+	if r := MassAMU(1) * AmuToElectronMass; math.Abs(r-1837.4) > 1 {
+		t.Errorf("H mass in mₑ = %g", r)
+	}
+}

@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	// Nodes actually used (≤ Machine.Nodes).
+	Nodes int
+	// Steps is the number of AIMD time steps.
+	Steps int
+	// Async enables the per-monomer asynchronous time-step scheme;
+	// false inserts a global barrier between steps.
+	Async bool
+}
+
+// Result reports a simulated run.
+type Result struct {
+	Machine      string
+	Nodes        int
+	Workers      int
+	Steps        int
+	Makespan     float64   // seconds, whole run
+	StepSeconds  []float64 // per-step span (first dispatch → last completion; spans overlap under async)
+	AvgStep      float64   // effective time-step latency = Makespan/Steps (the paper's throughput measure)
+	TotalFLOPs   float64
+	PFLOPS       float64 // sustained TotalFLOPs / Makespan
+	PeakFraction float64 // PFLOPS / machine sustained peak at this node count
+	NPolymers    int
+}
+
+// simTask is a queued polymer evaluation.
+type simTask struct {
+	poly int32
+	step int32
+}
+
+// readyHeap orders tasks by (step, distance to reference asc, order desc).
+type readyHeap struct {
+	items []simTask
+	w     *Workload
+}
+
+func (h *readyHeap) Len() int { return len(h.items) }
+func (h *readyHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.step != b.step {
+		return a.step < b.step
+	}
+	da, db := h.w.prioDist[a.poly], h.w.prioDist[b.poly]
+	if da != db {
+		return da < db
+	}
+	return h.w.Polymers[a.poly].Order > h.w.Polymers[b.poly].Order
+}
+func (h *readyHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *readyHeap) Push(x interface{}) { h.items = append(h.items, x.(simTask)) }
+func (h *readyHeap) Pop() interface{} {
+	old := h.items
+	it := old[len(old)-1]
+	h.items = old[:len(old)-1]
+	return it
+}
+
+// doneEvent is a completion in the running set.
+type doneEvent struct {
+	t    float64
+	task simTask
+}
+
+type eventHeap []doneEvent
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].t < h[j].t }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(doneEvent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+// Simulate runs the discrete-event simulation of w on nodes of m.
+func Simulate(w *Workload, m Machine, opt Options) (*Result, error) {
+	if opt.Nodes <= 0 || opt.Nodes > m.Nodes {
+		return nil, fmt.Errorf("cluster: node count %d outside 1..%d", opt.Nodes, m.Nodes)
+	}
+	if opt.Steps <= 0 {
+		return nil, errors.New("cluster: need at least one step")
+	}
+	nWorkers := opt.Nodes * m.GCDsPerNode
+	nPoly := len(w.Polymers)
+	nMono := len(w.Monomers)
+	steps := int32(opt.Steps)
+
+	// Per-polymer cost (static workload: same every step).
+	secs := make([]float64, nPoly)
+	flops := make([]float64, nPoly)
+	for pi, p := range w.Polymers {
+		nbf, nocc, naux := w.Size(p)
+		secs[pi], flops[pi] = m.Seconds(nbf, nocc, naux)
+	}
+
+	monoStep := make([]int32, nMono)
+	monoPending := make([]int32, nMono)
+	for mi := range monoPending {
+		monoPending[mi] = int32(len(w.touching[mi]))
+	}
+	nextStep := make([]int32, nPoly)
+	var globalMin int32
+
+	ready := &readyHeap{w: w}
+	heap.Init(ready)
+
+	tryEnqueue := func(pi int32) {
+		for nextStep[pi] < steps {
+			t := nextStep[pi]
+			ok := true
+			for _, mi := range w.touch[pi] {
+				if monoStep[mi] < t {
+					ok = false
+					break
+				}
+			}
+			if ok && !opt.Async && globalMin < t {
+				ok = false
+			}
+			if !ok {
+				return
+			}
+			heap.Push(ready, simTask{poly: pi, step: t})
+			nextStep[pi]++
+		}
+	}
+	for pi := int32(0); pi < int32(nPoly); pi++ {
+		tryEnqueue(pi)
+	}
+
+	running := &eventHeap{}
+	heap.Init(running)
+	idle := nWorkers
+	var now, coordFree float64
+	firstStart := make([]float64, opt.Steps)
+	lastDone := make([]float64, opt.Steps)
+	for t := range firstStart {
+		firstStart[t] = math.Inf(1)
+	}
+	var totalFlops float64
+	completions := 0
+	target := nPoly * opt.Steps
+
+	advance := func(mi int32, t int32) {
+		monoStep[mi] = t + 1
+		monoPending[mi] = int32(len(w.touching[mi]))
+		if !opt.Async {
+			newMin := monoStep[mi]
+			for _, s := range monoStep {
+				if s < newMin {
+					newMin = s
+				}
+			}
+			if newMin > globalMin {
+				globalMin = newMin
+				for pi := int32(0); pi < int32(nPoly); pi++ {
+					tryEnqueue(pi)
+				}
+			}
+			return
+		}
+		for _, pi := range w.touching[mi] {
+			tryEnqueue(pi)
+		}
+	}
+
+	for completions < target {
+		// Dispatch while workers and tasks are available.
+		for idle > 0 && ready.Len() > 0 {
+			task := heap.Pop(ready).(simTask)
+			start := math.Max(now, coordFree)
+			coordFree = start + m.CoordService
+			begin := start + m.DispatchLatency
+			end := begin + secs[task.poly]
+			if begin < firstStart[task.step] {
+				firstStart[task.step] = begin
+			}
+			heap.Push(running, doneEvent{t: end, task: task})
+			idle--
+		}
+		if running.Len() == 0 {
+			return nil, errors.New("cluster: deadlock — no running tasks")
+		}
+		ev := heap.Pop(running).(doneEvent)
+		now = ev.t
+		idle++
+		completions++
+		t := ev.task.step
+		if now > lastDone[t] {
+			lastDone[t] = now
+		}
+		totalFlops += flops[ev.task.poly]
+		for _, mi := range w.touch[ev.task.poly] {
+			monoPending[mi]--
+			if monoPending[mi] == 0 && monoStep[mi] == t {
+				advance(mi, t)
+			}
+		}
+	}
+
+	res := &Result{
+		Machine:    m.Name,
+		Nodes:      opt.Nodes,
+		Workers:    nWorkers,
+		Steps:      opt.Steps,
+		Makespan:   now,
+		TotalFLOPs: totalFlops,
+		NPolymers:  nPoly,
+	}
+	for t := 0; t < opt.Steps; t++ {
+		res.StepSeconds = append(res.StepSeconds, lastDone[t]-firstStart[t])
+	}
+	// Effective step latency: total wall time over steps, the paper's
+	// time-to-solution metric (under async, individual step spans
+	// overlap and would double-count).
+	res.AvgStep = now / float64(opt.Steps)
+	res.PFLOPS = totalFlops / now / 1e15
+	res.PeakFraction = res.PFLOPS / m.TotalPeakPF(opt.Nodes)
+	return res, nil
+}

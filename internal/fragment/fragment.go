@@ -1,0 +1,368 @@
+// Package fragment implements the many-body expansion (MBE) molecular
+// fragmentation of the paper (§V-B): the system is partitioned into
+// monomers; dimer and trimer corrections within distance cutoffs
+// reconstruct the total energy and gradient,
+//
+//	E = Σ_I E_I + Σ_{I<J} ΔE_IJ + Σ_{I<J<K} ΔE_IJK
+//
+// with ΔE_IJ = E_IJ − E_I − E_J and
+// ΔE_IJK = E_IJK − E_IJ − E_IK − E_JK + E_I + E_J + E_K.
+//
+// Fragments whose monomers are covalently bonded are severed at single
+// bonds and capped with hydrogens (H-caps); cap positions are functions
+// of the two atoms of the cut bond, and the cap forces are distributed
+// back onto those atoms with the exact chain rule.
+package fragment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/fragmd/fragmd/internal/chem"
+	"github.com/fragmd/fragmd/internal/molecule"
+)
+
+// Monomer is a set of atom indices of the parent system treated as one
+// fragmentation unit.
+type Monomer struct {
+	Atoms []int
+}
+
+// Polymer identifies a monomer, dimer or trimer by the sorted indices of
+// its constituent monomers.
+type Polymer struct {
+	Monomers []int // 1, 2 or 3 sorted monomer indices
+}
+
+// Order returns 1, 2 or 3.
+func (p Polymer) Order() int { return len(p.Monomers) }
+
+// Key returns a canonical map key.
+func (p Polymer) Key() string {
+	switch len(p.Monomers) {
+	case 1:
+		return fmt.Sprintf("%d", p.Monomers[0])
+	case 2:
+		return fmt.Sprintf("%d-%d", p.Monomers[0], p.Monomers[1])
+	default:
+		return fmt.Sprintf("%d-%d-%d", p.Monomers[0], p.Monomers[1], p.Monomers[2])
+	}
+}
+
+// Options controls fragmentation.
+type Options struct {
+	// DimerCutoff and TrimerCutoff are centroid-distance thresholds in
+	// Bohr. A dimer (I,J) is included when dist(I,J) ≤ DimerCutoff; a
+	// trimer when all three pairwise distances are ≤ TrimerCutoff.
+	DimerCutoff  float64
+	TrimerCutoff float64
+	// MaxOrder is 2 for MBE2, 3 for MBE3 (default 3).
+	MaxOrder int
+	// BondScale scales covalent radii for bond detection (default 1.25).
+	BondScale float64
+	// CapDistance is the H-cap bond length in Bohr (default: 1.09 Å).
+	CapDistance float64
+}
+
+func (o *Options) fill() {
+	if o.MaxOrder == 0 {
+		o.MaxOrder = 3
+	}
+	if o.BondScale == 0 {
+		o.BondScale = 1.25
+	}
+	if o.CapDistance == 0 {
+		o.CapDistance = 1.09 * chem.BohrPerAngstrom
+	}
+	if o.DimerCutoff == 0 {
+		o.DimerCutoff = math.Inf(1)
+	}
+	if o.TrimerCutoff == 0 {
+		o.TrimerCutoff = math.Inf(1)
+	}
+}
+
+// Fragmentation holds the monomer partition and bond-cut bookkeeping for
+// a molecular system.
+type Fragmentation struct {
+	Geom     *molecule.Geometry
+	Monomers []Monomer
+	Opts     Options
+
+	atomMonomer []int    // atom index → monomer index
+	cutBonds    [][2]int // bonds (a, b) crossing monomer boundaries
+}
+
+// New builds a Fragmentation from an explicit monomer partition. Every
+// atom must belong to exactly one monomer. Bonds crossing monomer
+// boundaries are detected from covalent radii and recorded for H-capping.
+func New(g *molecule.Geometry, monomers [][]int, opts Options) (*Fragmentation, error) {
+	opts.fill()
+	f := &Fragmentation{Geom: g, Opts: opts}
+	f.atomMonomer = make([]int, g.N())
+	for i := range f.atomMonomer {
+		f.atomMonomer[i] = -1
+	}
+	for mi, atoms := range monomers {
+		f.Monomers = append(f.Monomers, Monomer{Atoms: append([]int(nil), atoms...)})
+		for _, a := range atoms {
+			if a < 0 || a >= g.N() {
+				return nil, fmt.Errorf("fragment: atom index %d out of range", a)
+			}
+			if f.atomMonomer[a] != -1 {
+				return nil, fmt.Errorf("fragment: atom %d assigned to two monomers", a)
+			}
+			f.atomMonomer[a] = mi
+		}
+	}
+	for i, m := range f.atomMonomer {
+		if m == -1 {
+			return nil, fmt.Errorf("fragment: atom %d not assigned to any monomer", i)
+		}
+	}
+	for _, b := range g.Bonds(opts.BondScale) {
+		if f.atomMonomer[b[0]] != f.atomMonomer[b[1]] {
+			f.cutBonds = append(f.cutBonds, b)
+		}
+	}
+	return f, nil
+}
+
+// ByMolecule partitions a geometry into monomers of consecutive
+// molecules of size atomsPerMol (for the crystal/cluster builders whose
+// atoms are emitted molecule by molecule), grouping molsPerMonomer
+// molecules into each monomer (the paper uses 1 for paracetamol and 4
+// for the urea runs).
+func ByMolecule(g *molecule.Geometry, atomsPerMol, molsPerMonomer int, opts Options) (*Fragmentation, error) {
+	if g.N()%atomsPerMol != 0 {
+		return nil, fmt.Errorf("fragment: %d atoms not divisible by %d", g.N(), atomsPerMol)
+	}
+	nmol := g.N() / atomsPerMol
+	var monomers [][]int
+	for m := 0; m < nmol; m += molsPerMonomer {
+		var atoms []int
+		for k := m; k < m+molsPerMonomer && k < nmol; k++ {
+			for a := 0; a < atomsPerMol; a++ {
+				atoms = append(atoms, k*atomsPerMol+a)
+			}
+		}
+		monomers = append(monomers, atoms)
+	}
+	return New(g, monomers, opts)
+}
+
+// Centroid returns the centroid of monomer mi at the current geometry.
+func (f *Fragmentation) Centroid(mi int) [3]float64 {
+	return f.Geom.CentroidOf(f.Monomers[mi].Atoms)
+}
+
+// MonomerDist returns the centroid distance between two monomers (Bohr).
+func (f *Fragmentation) MonomerDist(i, j int) float64 {
+	return molecule.Dist(f.Centroid(i), f.Centroid(j))
+}
+
+// Polymers enumerates every polymer requiring evaluation under the
+// configured cutoffs (monomers, dimers — including those needed only as
+// trimer constituents — and trimers). See Terms for the classified form.
+func (f *Fragmentation) Polymers() []Polymer {
+	return f.Terms().All()
+}
+
+// Cap describes one hydrogen cap: a hydrogen placed along the cut bond
+// a→b at fixed distance from a. Its position depends on both atoms, so
+// its force Jacobian spreads onto both.
+type Cap struct {
+	Inner int // atom kept in the fragment
+	Outer int // atom replaced by the cap
+}
+
+// Extracted is a polymer's standalone geometry plus the bookkeeping to
+// fold its gradient back onto the parent system.
+type Extracted struct {
+	Geom *molecule.Geometry
+	// ParentAtom[i] is the parent-system atom for fragment atom i
+	// (the inner/real atoms; caps are appended after them).
+	ParentAtom []int
+	Caps       []Cap
+
+	capDist        float64
+	outerPositions map[Cap][3]float64 // cut-bond outer atom snapshots
+}
+
+// Extract builds the standalone geometry of a polymer: the union of its
+// monomers' atoms plus hydrogen caps for every bond cut by the polymer
+// boundary. Positions are taken from the parent geometry.
+func (f *Fragmentation) Extract(p Polymer) *Extracted {
+	return f.ExtractAt(p, func(a int) [3]float64 { return f.Geom.Atoms[a].Pos })
+}
+
+// TouchSet returns the monomers whose positions a polymer evaluation
+// depends on: its own members plus the monomers owning the outer atoms
+// of cut bonds (whose positions define the H-caps). This is the
+// dependency set of the asynchronous time-step scheme (§V-F).
+func (f *Fragmentation) TouchSet(p Polymer) []int {
+	inSet := map[int]bool{}
+	for _, mi := range p.Monomers {
+		inSet[mi] = true
+	}
+	out := append([]int(nil), p.Monomers...)
+	memberAtom := map[int]bool{}
+	for _, mi := range p.Monomers {
+		for _, a := range f.Monomers[mi].Atoms {
+			memberAtom[a] = true
+		}
+	}
+	for _, b := range f.cutBonds {
+		var outer int
+		switch {
+		case memberAtom[b[0]] && !memberAtom[b[1]]:
+			outer = b[1]
+		case memberAtom[b[1]] && !memberAtom[b[0]]:
+			outer = b[0]
+		default:
+			continue
+		}
+		om := f.atomMonomer[outer]
+		if !inSet[om] {
+			inSet[om] = true
+			out = append(out, om)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ExtractAt is Extract with an explicit position source, used by the
+// asynchronous scheduler to build a polymer's geometry from per-monomer
+// position histories at a specific time step.
+func (f *Fragmentation) ExtractAt(p Polymer, pos func(atom int) [3]float64) *Extracted {
+	inSet := map[int]bool{}
+	for _, mi := range p.Monomers {
+		for _, a := range f.Monomers[mi].Atoms {
+			inSet[a] = true
+		}
+	}
+	ex := &Extracted{Geom: molecule.New(), capDist: f.Opts.CapDistance}
+	var atoms []int
+	for _, mi := range p.Monomers {
+		atoms = append(atoms, f.Monomers[mi].Atoms...)
+	}
+	sort.Ints(atoms)
+	for _, a := range atoms {
+		xyz := pos(a)
+		ex.Geom.AddAtom(f.Geom.Atoms[a].Z, xyz[0], xyz[1], xyz[2])
+		ex.ParentAtom = append(ex.ParentAtom, a)
+	}
+	for _, b := range f.cutBonds {
+		var inner, outer int
+		switch {
+		case inSet[b[0]] && !inSet[b[1]]:
+			inner, outer = b[0], b[1]
+		case inSet[b[1]] && !inSet[b[0]]:
+			inner, outer = b[1], b[0]
+		default:
+			continue // bond fully inside or fully outside
+		}
+		cap := Cap{Inner: inner, Outer: outer}
+		ex.Caps = append(ex.Caps, cap)
+		if ex.outerPositions == nil {
+			ex.outerPositions = map[Cap][3]float64{}
+		}
+		ex.outerPositions[cap] = pos(outer)
+		capXYZ := capPosition(pos(inner), pos(outer), f.Opts.CapDistance)
+		ex.Geom.AddAtom(1, capXYZ[0], capXYZ[1], capXYZ[2])
+	}
+	return ex
+}
+
+// AtomMonomer returns the monomer index owning each atom.
+func (f *Fragmentation) AtomMonomer() []int {
+	return append([]int(nil), f.atomMonomer...)
+}
+
+// capPosition places the hydrogen at distance d from inner along the
+// inner→outer direction.
+func capPosition(inner, outer [3]float64, d float64) [3]float64 {
+	var u [3]float64
+	var norm float64
+	for k := 0; k < 3; k++ {
+		u[k] = outer[k] - inner[k]
+		norm += u[k] * u[k]
+	}
+	norm = math.Sqrt(norm)
+	var out [3]float64
+	for k := 0; k < 3; k++ {
+		out[k] = inner[k] + d*u[k]/norm
+	}
+	return out
+}
+
+// FoldGradient maps a fragment gradient (3 × fragment atoms) back onto
+// the parent system with factor, applying the exact H-cap chain rule:
+// the cap position C(x_in, x_out) = x_in + d·u/|u| contributes
+// ∂C/∂x_in and ∂C/∂x_out terms to both bond atoms.
+func (ex *Extracted) FoldGradient(fragGrad []float64, factor float64, parentGrad []float64) {
+	nReal := len(ex.ParentAtom)
+	for i, pa := range ex.ParentAtom {
+		for k := 0; k < 3; k++ {
+			parentGrad[3*pa+k] += factor * fragGrad[3*i+k]
+		}
+	}
+	for ci, cap := range ex.Caps {
+		gi := 3 * (nReal + ci)
+		inner := ex.innerPos(cap)
+		outer := ex.outerPos(cap)
+		var u [3]float64
+		var norm float64
+		for k := 0; k < 3; k++ {
+			u[k] = outer[k] - inner[k]
+			norm += u[k] * u[k]
+		}
+		norm = math.Sqrt(norm)
+		d := ex.capDist
+		// ∂C_k/∂out_l = d/|u| (δ_kl − û_k û_l); ∂C_k/∂in_l = δ_kl − ∂C_k/∂out_l.
+		for l := 0; l < 3; l++ {
+			var gOut float64
+			for k := 0; k < 3; k++ {
+				jac := d / norm * (delta(k, l) - u[k]*u[l]/(norm*norm))
+				gOut += fragGrad[gi+k] * jac
+			}
+			gIn := fragGrad[gi+l] - gOut
+			parentGrad[3*cap.Inner+l] += factor * gIn
+			parentGrad[3*cap.Outer+l] += factor * gOut
+		}
+	}
+}
+
+func delta(a, b int) float64 {
+	if a == b {
+		return 1
+	}
+	return 0
+}
+
+// innerPos/outerPos read the parent positions backing a cap. The parent
+// geometry is reachable through the stored positions at extraction time;
+// Extracted keeps its own copies inside Geom for the inner atom, so the
+// cap Jacobian is evaluated from the fragment's snapshot.
+func (ex *Extracted) innerPos(c Cap) [3]float64 { return ex.posOfParent(c.Inner) }
+
+func (ex *Extracted) posOfParent(parent int) [3]float64 {
+	for i, pa := range ex.ParentAtom {
+		if pa == parent {
+			return ex.Geom.Atoms[i].Pos
+		}
+	}
+	panic("fragment: cap parent atom not in fragment")
+}
+
+// outerPos reconstructs the outer-atom position from the cap placement:
+// C = in + d·(out−in)/|out−in| does not retain |out−in|, so Extracted
+// stores the outer position explicitly at extraction time.
+func (ex *Extracted) outerPos(c Cap) [3]float64 {
+	if ex.outerPositions == nil {
+		panic("fragment: outer positions not recorded")
+	}
+	return ex.outerPositions[c]
+}

@@ -1,0 +1,245 @@
+package fragment
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/fragmd/fragmd/internal/molecule"
+)
+
+// Evaluator computes the total energy and nuclear gradient of a
+// standalone fragment geometry. Implementations live in package
+// potential (RI-MP2, RI-HF, and fast surrogate potentials).
+type Evaluator interface {
+	Evaluate(g *molecule.Geometry) (energy float64, grad []float64, err error)
+}
+
+// Terms classifies the polymers of the truncated expansion.
+type Terms struct {
+	Monomers []Polymer
+	// Dimers within the dimer cutoff: contribute ΔE_IJ.
+	Dimers []Polymer
+	// Trimers within the trimer cutoff: contribute ΔE_IJK.
+	Trimers []Polymer
+	// ExtraDimers are outside the dimer cutoff but constituents of an
+	// included trimer; they are evaluated for the ΔE_IJK assembly but
+	// contribute no ΔE_IJ of their own.
+	ExtraDimers []Polymer
+}
+
+// All returns every polymer requiring evaluation, monomers first, then
+// dimers (included + extra), then trimers.
+func (t *Terms) All() []Polymer {
+	out := make([]Polymer, 0, len(t.Monomers)+len(t.Dimers)+len(t.ExtraDimers)+len(t.Trimers))
+	out = append(out, t.Monomers...)
+	out = append(out, t.Dimers...)
+	out = append(out, t.ExtraDimers...)
+	out = append(out, t.Trimers...)
+	return out
+}
+
+// Terms enumerates the truncated MBE polymer lists under the configured
+// cutoffs (centroid distances, paper §V-B).
+func (f *Fragmentation) Terms() *Terms {
+	n := len(f.Monomers)
+	t := &Terms{}
+	for i := 0; i < n; i++ {
+		t.Monomers = append(t.Monomers, Polymer{Monomers: []int{i}})
+	}
+	inCut := map[[2]int]bool{}
+	needed := map[[2]int]bool{}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if f.MonomerDist(i, j) <= f.Opts.DimerCutoff {
+				inCut[[2]int{i, j}] = true
+			}
+		}
+	}
+	if f.Opts.MaxOrder >= 3 {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if f.MonomerDist(i, j) > f.Opts.TrimerCutoff {
+					continue
+				}
+				for k := j + 1; k < n; k++ {
+					if f.MonomerDist(i, k) <= f.Opts.TrimerCutoff && f.MonomerDist(j, k) <= f.Opts.TrimerCutoff {
+						t.Trimers = append(t.Trimers, Polymer{Monomers: []int{i, j, k}})
+						for _, d := range [][2]int{{i, j}, {i, k}, {j, k}} {
+							if !inCut[d] {
+								needed[d] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for d := range inCut {
+		t.Dimers = append(t.Dimers, Polymer{Monomers: []int{d[0], d[1]}})
+	}
+	for d := range needed {
+		t.ExtraDimers = append(t.ExtraDimers, Polymer{Monomers: []int{d[0], d[1]}})
+	}
+	sortPolymers(t.Dimers)
+	sortPolymers(t.ExtraDimers)
+	return t
+}
+
+func sortPolymers(ps []Polymer) {
+	sort.Slice(ps, func(a, b int) bool {
+		pa, pb := ps[a].Monomers, ps[b].Monomers
+		for k := range pa {
+			if pa[k] != pb[k] {
+				return pa[k] < pb[k]
+			}
+		}
+		return false
+	})
+}
+
+// Coefficients returns the raw-energy MBE coefficient of every polymer
+// to evaluate: E_MBE = Σ_p coeff(p)·E_p. Monomers start at 1 and are
+// decremented by their dimer and incremented by their trimer
+// memberships; dimers in cutoff get +1 and −1 per containing trimer;
+// extra dimers get −1 per containing trimer only; trimers get +1.
+func (t *Terms) Coefficients() map[string]float64 {
+	coeff := map[string]float64{}
+	for _, m := range t.Monomers {
+		coeff[m.Key()] = 1
+	}
+	for _, d := range t.Dimers {
+		coeff[d.Key()] += 1
+		coeff[Polymer{Monomers: []int{d.Monomers[0]}}.Key()]--
+		coeff[Polymer{Monomers: []int{d.Monomers[1]}}.Key()]--
+	}
+	for _, tr := range t.Trimers {
+		coeff[tr.Key()] += 1
+		i, j, k := tr.Monomers[0], tr.Monomers[1], tr.Monomers[2]
+		for _, d := range [][2]int{{i, j}, {i, k}, {j, k}} {
+			coeff[Polymer{Monomers: []int{d[0], d[1]}}.Key()]--
+		}
+		for _, m := range tr.Monomers {
+			coeff[Polymer{Monomers: []int{m}}.Key()]++
+		}
+	}
+	return coeff
+}
+
+// Result is an assembled MBE energy and gradient for the parent system.
+type Result struct {
+	Energy     float64
+	Gradient   []float64 // 3N parent gradient
+	NPolymers  int
+	PolymerE   map[string]float64 // raw fragment energies
+	DeltaDimer map[string]float64 // ΔE_IJ for dimers within cutoff
+	DeltaTri   map[string]float64 // ΔE_IJK
+}
+
+// Compute evaluates every required polymer with eval and assembles the
+// MBE energy and gradient. It is the serial reference path; package
+// sched provides the asynchronous distributed engine with identical
+// numerics.
+func (f *Fragmentation) Compute(eval Evaluator) (*Result, error) {
+	terms := f.Terms()
+	coeff := terms.Coefficients()
+	all := terms.All()
+
+	res := &Result{
+		Gradient:   make([]float64, 3*f.Geom.N()),
+		NPolymers:  len(all),
+		PolymerE:   map[string]float64{},
+		DeltaDimer: map[string]float64{},
+		DeltaTri:   map[string]float64{},
+	}
+	grads := map[string][]float64{}
+	extracts := map[string]*Extracted{}
+	for _, p := range all {
+		key := p.Key()
+		if _, done := res.PolymerE[key]; done {
+			return nil, fmt.Errorf("fragment: polymer %s enumerated twice", key)
+		}
+		ex := f.Extract(p)
+		e, g, err := eval.Evaluate(ex.Geom)
+		if err != nil {
+			return nil, fmt.Errorf("fragment: polymer %s: %w", key, err)
+		}
+		res.PolymerE[key] = e
+		grads[key] = g
+		extracts[key] = ex
+	}
+
+	allGrads := true
+	for key, c := range coeff {
+		if c == 0 {
+			continue
+		}
+		res.Energy += c * res.PolymerE[key]
+		if grads[key] == nil {
+			allGrads = false // energy-only evaluator
+			continue
+		}
+		extracts[key].FoldGradient(grads[key], c, res.Gradient)
+	}
+	if !allGrads {
+		res.Gradient = nil
+	}
+
+	// ΔE bookkeeping for analysis (Fig. 5).
+	mKey := func(i int) string { return Polymer{Monomers: []int{i}}.Key() }
+	dimerDelta := func(d Polymer) float64 {
+		return res.PolymerE[d.Key()] - res.PolymerE[mKey(d.Monomers[0])] - res.PolymerE[mKey(d.Monomers[1])]
+	}
+	for _, d := range terms.Dimers {
+		res.DeltaDimer[d.Key()] = dimerDelta(d)
+	}
+	for _, tr := range terms.Trimers {
+		i, j, k := tr.Monomers[0], tr.Monomers[1], tr.Monomers[2]
+		delta := res.PolymerE[tr.Key()]
+		for _, d := range [][2]int{{i, j}, {i, k}, {j, k}} {
+			delta -= res.PolymerE[Polymer{Monomers: []int{d[0], d[1]}}.Key()]
+		}
+		delta += res.PolymerE[mKey(i)] + res.PolymerE[mKey(j)] + res.PolymerE[mKey(k)]
+		res.DeltaTri[tr.Key()] = delta
+	}
+	return res, nil
+}
+
+// Contribution is one polymer's |ΔE| against its maximum centroid
+// separation — the data behind the paper's Fig. 5 cutoff analysis.
+type Contribution struct {
+	Order  int
+	Dist   float64 // Bohr
+	DeltaE float64 // Hartree
+}
+
+// Contributions lists dimer and trimer ΔE values with distances.
+func (f *Fragmentation) Contributions(res *Result) []Contribution {
+	var out []Contribution
+	parse := func(key string) []int {
+		var a, b, c int
+		switch n, _ := fmt.Sscanf(key, "%d-%d-%d", &a, &b, &c); n {
+		case 3:
+			return []int{a, b, c}
+		default:
+			fmt.Sscanf(key, "%d-%d", &a, &b)
+			return []int{a, b}
+		}
+	}
+	for key, de := range res.DeltaDimer {
+		m := parse(key)
+		out = append(out, Contribution{Order: 2, Dist: f.MonomerDist(m[0], m[1]), DeltaE: de})
+	}
+	for key, de := range res.DeltaTri {
+		m := parse(key)
+		d := f.MonomerDist(m[0], m[1])
+		if x := f.MonomerDist(m[0], m[2]); x > d {
+			d = x
+		}
+		if x := f.MonomerDist(m[1], m[2]); x > d {
+			d = x
+		}
+		out = append(out, Contribution{Order: 3, Dist: d, DeltaE: de})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	return out
+}

@@ -1,0 +1,108 @@
+package fragment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/fragmd/fragmd/internal/molecule"
+)
+
+// additiveEvaluator returns energy = c·(number of atoms) with zero
+// gradient. For cap-free fragmentations the MBE identity then demands
+// E_MBE == c·N_total for *any* cutoffs and any MBE order: every ΔE_IJ
+// and ΔE_IJK vanishes identically, so the coefficient algebra
+// (Terms/Coefficients) is exercised end to end.
+type additiveEvaluator struct{ c float64 }
+
+func (a additiveEvaluator) Evaluate(g *molecule.Geometry) (float64, []float64, error) {
+	return a.c * float64(g.N()), make([]float64, 3*g.N()), nil
+}
+
+func TestQuickMBEAdditiveIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		g := molecule.WaterCluster(n)
+		opts := Options{
+			MaxOrder:     2 + rng.Intn(2),
+			DimerCutoff:  4 + 20*rng.Float64(),
+			TrimerCutoff: 4 + 16*rng.Float64(),
+		}
+		frag, err := ByMolecule(g, 3, 1, opts)
+		if err != nil {
+			return false
+		}
+		ev := additiveEvaluator{c: 0.5 + rng.Float64()}
+		res, err := frag.Compute(ev)
+		if err != nil {
+			return false
+		}
+		want := ev.c * float64(g.N())
+		return math.Abs(res.Energy-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Coefficient-sum identity: Σ_p coeff(p)·atoms(p) = N_total for cap-free
+// partitions (each atom must be counted exactly once net).
+func TestQuickCoefficientAtomBalance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		g := molecule.WaterCluster(n)
+		frag, err := ByMolecule(g, 3, 1, Options{
+			DimerCutoff:  3 + 25*rng.Float64(),
+			TrimerCutoff: 3 + 20*rng.Float64(),
+		})
+		if err != nil {
+			return false
+		}
+		terms := frag.Terms()
+		coeff := terms.Coefficients()
+		var total float64
+		for _, p := range terms.All() {
+			atoms := 0
+			for _, mi := range p.Monomers {
+				atoms += len(frag.Monomers[mi].Atoms)
+			}
+			total += coeff[p.Key()] * float64(atoms)
+		}
+		return math.Abs(total-float64(g.N())) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Touch sets always contain the polymer's own monomers and are sorted.
+func TestQuickTouchSetContainsMembers(t *testing.T) {
+	g, residues := molecule.Polyglycine(5)
+	frag, err := New(g, residues, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range frag.Polymers() {
+		ts := frag.TouchSet(p)
+		for i := 1; i < len(ts); i++ {
+			if ts[i] <= ts[i-1] {
+				t.Fatalf("touch set not sorted/unique: %v", ts)
+			}
+		}
+		for _, m := range p.Monomers {
+			found := false
+			for _, x := range ts {
+				if x == m {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("touch set %v missing member %d", ts, m)
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package integrals
+
+import "math"
+
+// eTable holds the 1D Hermite expansion coefficients E_t^{ij} of a
+// primitive Gaussian product for 0 ≤ i ≤ imax, 0 ≤ j ≤ jmax, 0 ≤ t ≤ i+j.
+type eTable [][][]float64
+
+// newETable computes the Hermite expansion coefficients for exponents
+// a, b and the 1D center separation ab = A−B via the standard MD
+// transfer recurrences.
+func newETable(imax, jmax int, a, b, ab float64) eTable {
+	p := a + b
+	mu := a * b / p
+	xpa := -b / p * ab // P − A
+	xpb := a / p * ab  // P − B
+	inv2p := 1 / (2 * p)
+
+	e := make(eTable, imax+1)
+	for i := range e {
+		e[i] = make([][]float64, jmax+1)
+		for j := range e[i] {
+			e[i][j] = make([]float64, i+j+1)
+		}
+	}
+	e[0][0][0] = math.Exp(-mu * ab * ab)
+	// Raise i with j = 0.
+	for i := 0; i < imax; i++ {
+		src := e[i][0]
+		dst := e[i+1][0]
+		for t := 0; t <= i+1; t++ {
+			var v float64
+			if t > 0 {
+				v += inv2p * src[t-1]
+			}
+			if t <= i {
+				v += xpa * src[t]
+			}
+			if t+1 <= i {
+				v += float64(t+1) * src[t+1]
+			}
+			dst[t] = v
+		}
+	}
+	// Raise j for every i.
+	for i := 0; i <= imax; i++ {
+		for j := 0; j < jmax; j++ {
+			src := e[i][j]
+			dst := e[i][j+1]
+			for t := 0; t <= i+j+1; t++ {
+				var v float64
+				if t > 0 {
+					v += inv2p * src[t-1]
+				}
+				if t <= i+j {
+					v += xpb * src[t]
+				}
+				if t+1 <= i+j {
+					v += float64(t+1) * src[t+1]
+				}
+				dst[t] = v
+			}
+		}
+	}
+	return e
+}
+
+// rCube holds Hermite Coulomb integrals R⁰_{tuv} for t+u+v ≤ tmax,
+// addressed r[t][u][v].
+type rCube [][][]float64
+
+// newRCube evaluates R⁰_{tuv}(α, Δ) for t+u+v ≤ tmax where Δ = P−Q.
+// Levels n = tmax … 0 are built downward; level n only needs entries
+// with t+u+v ≤ tmax−n.
+func newRCube(tmax int, alpha float64, dx, dy, dz float64) rCube {
+	r2 := dx*dx + dy*dy + dz*dz
+	f := make([]float64, tmax+1)
+	boys(tmax, alpha*r2, f)
+
+	alloc := func() rCube {
+		c := make(rCube, tmax+1)
+		for t := range c {
+			c[t] = make([][]float64, tmax+1-t)
+			for u := range c[t] {
+				c[t][u] = make([]float64, tmax+1-t-u)
+			}
+		}
+		return c
+	}
+	cur := alloc()
+	var prev rCube
+	for n := tmax; n >= 0; n-- {
+		lim := tmax - n
+		for t := 0; t <= lim; t++ {
+			for u := 0; u <= lim-t; u++ {
+				for v := 0; v <= lim-t-u; v++ {
+					var val float64
+					switch {
+					case t == 0 && u == 0 && v == 0:
+						val = math.Pow(-2*alpha, float64(n)) * f[n]
+					case t > 0:
+						if t >= 2 {
+							val = float64(t-1) * prev[t-2][u][v]
+						}
+						val += dx * prev[t-1][u][v]
+					case u > 0:
+						if u >= 2 {
+							val = float64(u-1) * prev[t][u-2][v]
+						}
+						val += dy * prev[t][u-1][v]
+					default:
+						if v >= 2 {
+							val = float64(v-1) * prev[t][u][v-2]
+						}
+						val += dz * prev[t][u][v-1]
+					}
+					cur[t][u][v] = val
+				}
+			}
+		}
+		if n > 0 {
+			prev, cur = cur, prev
+			if cur == nil {
+				cur = alloc()
+			}
+		}
+	}
+	return cur
+}

@@ -1,0 +1,368 @@
+package integrals
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/fragmd/fragmd/internal/basis"
+	"github.com/fragmd/fragmd/internal/linalg"
+	"github.com/fragmd/fragmd/internal/molecule"
+)
+
+// parallelFor splits [0, n) across GOMAXPROCS goroutines.
+func parallelFor(n int, fn func(lo, hi int)) {
+	nw := runtime.GOMAXPROCS(0)
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// reduceGrads runs fn on per-worker gradient buffers and sums them into
+// grad. n is the loop bound passed through to parallelFor.
+func reduceGrads(n int, grad []float64, fn func(lo, hi int, buf []float64)) {
+	var mu sync.Mutex
+	parallelFor(n, func(lo, hi int) {
+		buf := make([]float64, len(grad))
+		fn(lo, hi, buf)
+		mu.Lock()
+		for i, v := range buf {
+			grad[i] += v
+		}
+		mu.Unlock()
+	})
+}
+
+// upperPairs enumerates (i, j) with i ≤ j < n.
+func upperPairs(n int) [][2]int {
+	out := make([][2]int, 0, n*(n+1)/2)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// allPairs enumerates all ordered (i, j) with i, j < n.
+func allPairs(n int) [][2]int {
+	out := make([][2]int, 0, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// stKind selects which one-electron operator stBlock evaluates.
+type stKind int
+
+const (
+	kindOverlap stKind = iota
+	kindKinetic
+)
+
+// stPair evaluates the overlap or kinetic block between two shells and,
+// when deriv is true, the three bra-center derivative blocks
+// ∂/∂A_d obtained from the raise/lower relation
+// ∂/∂A x^i = 2a·x^{i+1} − i·x^{i-1} applied per primitive.
+func stPair(sa, sb *basis.Shell, kind stKind, deriv bool) (val *linalg.Mat, dA [3]*linalg.Mat) {
+	compA := basis.CartComponents(sa.L)
+	compB := basis.CartComponents(sb.L)
+	na, nb := len(compA), len(compB)
+	val = linalg.NewMat(na, nb)
+	if deriv {
+		for d := 0; d < 3; d++ {
+			dA[d] = linalg.NewMat(na, nb)
+		}
+	}
+	imax := sa.L
+	if deriv {
+		imax++
+	}
+	jmax := sb.L
+	if kind == kindKinetic {
+		jmax += 2
+	}
+	var ab [3]float64
+	for d := 0; d < 3; d++ {
+		ab[d] = sa.Center[d] - sb.Center[d]
+	}
+	var e [3]eTable
+	for p, a := range sa.Exps {
+		for q, b := range sb.Exps {
+			pexp := a + b
+			pre := math.Pow(math.Pi/pexp, 1.5)
+			for d := 0; d < 3; d++ {
+				e[d] = newETable(imax, jmax, a, b, ab[d])
+			}
+			// 1D overlap factor (without the √(π/p) prefactor, folded
+			// into pre as (π/p)^{3/2} for the 3D product).
+			s1 := func(d, i, j int) float64 {
+				if i < 0 || j < 0 {
+					return 0
+				}
+				return e[d][i][j][0]
+			}
+			// 1D kinetic factor ⟨i| −½ d²/dx² |j⟩.
+			k1 := func(d, i, j int) float64 {
+				if i < 0 {
+					return 0
+				}
+				v := -2*b*b*s1(d, i, j+2) + b*float64(2*j+1)*s1(d, i, j)
+				if j >= 2 {
+					v -= 0.5 * float64(j*(j-1)) * s1(d, i, j-2)
+				}
+				return v
+			}
+			// 3D assembly for bra Cartesian powers ia against the ket
+			// powers jb fixed in the closure below.
+			for ca, A := range compA {
+				for cb, B := range compB {
+					coef := sa.Coefs[ca][p] * sb.Coefs[cb][q] * pre
+					jb := B
+					value := func(ia [3]int) float64 {
+						if kind == kindOverlap {
+							return s1(0, ia[0], jb[0]) * s1(1, ia[1], jb[1]) * s1(2, ia[2], jb[2])
+						}
+						return k1(0, ia[0], jb[0])*s1(1, ia[1], jb[1])*s1(2, ia[2], jb[2]) +
+							s1(0, ia[0], jb[0])*k1(1, ia[1], jb[1])*s1(2, ia[2], jb[2]) +
+							s1(0, ia[0], jb[0])*s1(1, ia[1], jb[1])*k1(2, ia[2], jb[2])
+					}
+					val.Add(ca, cb, coef*value(A))
+					if deriv {
+						for d := 0; d < 3; d++ {
+							up, down := A, A
+							up[d]++
+							down[d]--
+							dv := 2 * a * value(up)
+							if A[d] > 0 {
+								dv -= float64(A[d]) * value(down)
+							}
+							dA[d].Add(ca, cb, coef*dv)
+						}
+					}
+				}
+			}
+		}
+	}
+	return val, dA
+}
+
+// Overlap returns the overlap matrix S.
+func Overlap(bs *basis.Set) *linalg.Mat { return oneElectronMat(bs, kindOverlap) }
+
+// Kinetic returns the kinetic-energy matrix T.
+func Kinetic(bs *basis.Set) *linalg.Mat { return oneElectronMat(bs, kindKinetic) }
+
+func oneElectronMat(bs *basis.Set, kind stKind) *linalg.Mat {
+	m := linalg.NewMat(bs.N, bs.N)
+	pairs := upperPairs(len(bs.Shells))
+	parallelFor(len(pairs), func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			sa, sb := &bs.Shells[pairs[idx][0]], &bs.Shells[pairs[idx][1]]
+			blk, _ := stPair(sa, sb, kind, false)
+			for i := 0; i < blk.Rows; i++ {
+				for j := 0; j < blk.Cols; j++ {
+					v := blk.At(i, j)
+					m.Set(sa.Start+i, sb.Start+j, v)
+					m.Set(sb.Start+j, sa.Start+i, v)
+				}
+			}
+		}
+	})
+	return m
+}
+
+// nuclearPair evaluates the nuclear-attraction block Σ_C −Z_C·(μ|1/r_C|ν)
+// for one shell pair. When grad is non-nil it instead contracts the
+// derivative integrals with the weights w on the fly:
+//
+//	grad[3·atom(A)+d] += factor·Σ_μν w_μν ∂V_μν/∂A_d   (bra share)
+//	grad[3·C+d]       −= factor·Σ_μν w_μν ∂(V_C)_μν/∂A_d (operator share)
+//
+// Two ordered visits of each pair make −(∂A+∂B) the complete nuclear
+// (Hellmann–Feynman + Pulay) force via translational invariance.
+func nuclearPair(sa, sb *basis.Shell, g *molecule.Geometry, val *linalg.Mat, w *linalg.Mat, factor float64, grad []float64) {
+	compA := basis.CartComponents(sa.L)
+	compB := basis.CartComponents(sb.L)
+	deriv := grad != nil
+	imax := sa.L
+	if deriv {
+		imax++
+	}
+	jmax := sb.L
+	tmax := imax + jmax
+	var ab [3]float64
+	for d := 0; d < 3; d++ {
+		ab[d] = sa.Center[d] - sb.Center[d]
+	}
+	var e [3]eTable
+	for p, a := range sa.Exps {
+		for q, b := range sb.Exps {
+			pexp := a + b
+			pre := 2 * math.Pi / pexp
+			for d := 0; d < 3; d++ {
+				e[d] = newETable(imax, jmax, a, b, ab[d])
+			}
+			var pc [3]float64
+			for d := 0; d < 3; d++ {
+				pc[d] = (a*sa.Center[d] + b*sb.Center[d]) / pexp
+			}
+			for ci := range g.Atoms {
+				at := &g.Atoms[ci]
+				r := newRCube(tmax, pexp, pc[0]-at.Pos[0], pc[1]-at.Pos[1], pc[2]-at.Pos[2])
+				charge := -float64(at.Z)
+				contract := func(ia, jb [3]int) float64 {
+					var sum float64
+					ex := e[0][ia[0]][jb[0]]
+					for t := range ex {
+						et := ex[t]
+						if et == 0 {
+							continue
+						}
+						ey := e[1][ia[1]][jb[1]]
+						for u := range ey {
+							eu := ey[u]
+							if eu == 0 {
+								continue
+							}
+							etu := et * eu
+							ez := e[2][ia[2]][jb[2]]
+							rv := r[t][u]
+							for v := range ez {
+								sum += etu * ez[v] * rv[v]
+							}
+						}
+					}
+					return sum
+				}
+				for ca, A := range compA {
+					for cb, B := range compB {
+						coef := sa.Coefs[ca][p] * sb.Coefs[cb][q] * pre * charge
+						if val != nil {
+							val.Add(ca, cb, coef*contract(A, B))
+						}
+						if deriv {
+							// Ordered-visit left-derivative scheme: the
+							// effective weight is w_μν + w_νμ (see stDeriv).
+							wv := (w.At(sa.Start+ca, sb.Start+cb) + w.At(sb.Start+cb, sa.Start+ca)) * factor * coef
+							if wv == 0 {
+								continue
+							}
+							for d := 0; d < 3; d++ {
+								up, down := A, A
+								up[d]++
+								down[d]--
+								dv := 2 * a * contract(up, B)
+								if A[d] > 0 {
+									dv -= float64(A[d]) * contract(down, B)
+								}
+								grad[3*sa.Atom+d] += wv * dv
+								grad[3*ci+d] -= wv * dv
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Nuclear returns the nuclear-attraction matrix V = Σ_C −Z_C (μ|1/r_C|ν).
+func Nuclear(bs *basis.Set, g *molecule.Geometry) *linalg.Mat {
+	m := linalg.NewMat(bs.N, bs.N)
+	pairs := upperPairs(len(bs.Shells))
+	parallelFor(len(pairs), func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			sa, sb := &bs.Shells[pairs[idx][0]], &bs.Shells[pairs[idx][1]]
+			blk := linalg.NewMat(sa.NCart(), sb.NCart())
+			nuclearPair(sa, sb, g, blk, nil, 0, nil)
+			for i := 0; i < blk.Rows; i++ {
+				for j := 0; j < blk.Cols; j++ {
+					v := blk.At(i, j)
+					m.Set(sa.Start+i, sb.Start+j, v)
+					m.Set(sb.Start+j, sa.Start+i, v)
+				}
+			}
+		}
+	})
+	return m
+}
+
+// Hcore returns the one-electron core Hamiltonian T + V.
+func Hcore(bs *basis.Set, g *molecule.Geometry) *linalg.Mat {
+	h := Kinetic(bs)
+	h.AxpyMat(1, Nuclear(bs, g))
+	return h
+}
+
+// OverlapDeriv accumulates factor·Σ_μν w_μν ∂S_μν/∂R into grad
+// (length 3·natoms). w may be non-symmetric; both orientations are
+// contracted.
+func OverlapDeriv(bs *basis.Set, w *linalg.Mat, factor float64, grad []float64) {
+	stDeriv(bs, w, factor, grad, kindOverlap)
+}
+
+// KineticDeriv accumulates factor·Σ_μν w_μν ∂T_μν/∂R into grad.
+func KineticDeriv(bs *basis.Set, w *linalg.Mat, factor float64, grad []float64) {
+	stDeriv(bs, w, factor, grad, kindKinetic)
+}
+
+// stDeriv visits all ordered shell pairs computing only the bra-center
+// derivative blocks. For a symmetric two-center integral the ket-slot
+// contribution Σ w_μν ∂I/∂(center ν) relabels to Σ w_νμ ∂I/∂(center μ),
+// so contracting each visit with the weight (w_μν + w_νμ) and
+// accumulating on the bra atom yields the complete gradient.
+func stDeriv(bs *basis.Set, w *linalg.Mat, factor float64, grad []float64, kind stKind) {
+	pairs := allPairs(len(bs.Shells))
+	reduceGrads(len(pairs), grad, func(lo, hi int, buf []float64) {
+		for idx := lo; idx < hi; idx++ {
+			sa, sb := &bs.Shells[pairs[idx][0]], &bs.Shells[pairs[idx][1]]
+			_, dA := stPair(sa, sb, kind, true)
+			for d := 0; d < 3; d++ {
+				var s float64
+				for i := 0; i < dA[d].Rows; i++ {
+					for j := 0; j < dA[d].Cols; j++ {
+						s += (w.At(sa.Start+i, sb.Start+j) + w.At(sb.Start+j, sa.Start+i)) * dA[d].At(i, j)
+					}
+				}
+				buf[3*sa.Atom+d] += factor * s
+			}
+		}
+	})
+}
+
+// NuclearDeriv accumulates factor·Σ_μν w_μν ∂V_μν/∂R into grad,
+// including the forces on the nuclei acting as attraction centers.
+func NuclearDeriv(bs *basis.Set, g *molecule.Geometry, w *linalg.Mat, factor float64, grad []float64) {
+	pairs := allPairs(len(bs.Shells))
+	reduceGrads(len(pairs), grad, func(lo, hi int, buf []float64) {
+		for idx := lo; idx < hi; idx++ {
+			sa, sb := &bs.Shells[pairs[idx][0]], &bs.Shells[pairs[idx][1]]
+			nuclearPair(sa, sb, g, nil, w, factor, buf)
+		}
+	})
+}

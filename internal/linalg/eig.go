@@ -1,0 +1,143 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// EigSym computes the full eigendecomposition of the symmetric matrix a:
+// a = V·diag(w)·Vᵀ with eigenvalues w in ascending order and eigenvectors
+// in the columns of V. The input is not modified.
+//
+// The solver is a cyclic Jacobi iteration, which is unconditionally
+// stable and more than fast enough for the per-fragment matrix sizes the
+// paper targets (≲1k basis functions per fragment, §V-E). The paper notes
+// that eigensolves are one of the FLOP-inefficient O(N³) phases limiting
+// fragment-level throughput — the same is true here, and the cluster
+// simulator's cost model accounts for it.
+func EigSym(a *Mat) (w []float64, v *Mat) {
+	if a.Rows != a.Cols {
+		panic("linalg: EigSym requires a square matrix")
+	}
+	n := a.Rows
+	m := a.Clone()
+	v = Identity(n)
+	if n == 0 {
+		return nil, v
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m.Data[i*n+j] * m.Data[i*n+j]
+			}
+		}
+		if off < 1e-24*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.Data[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := m.Data[p*n+p]
+				aqq := m.Data[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if math.Abs(theta) > 1e12 {
+					t = 1 / (2 * theta)
+				} else {
+					t = math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				}
+				cth := 1 / math.Sqrt(t*t+1)
+				s := t * cth
+				tau := s / (1 + cth)
+
+				m.Data[p*n+p] = app - t*apq
+				m.Data[q*n+q] = aqq + t*apq
+				m.Data[p*n+q] = 0
+				m.Data[q*n+p] = 0
+				for i := 0; i < n; i++ {
+					if i != p && i != q {
+						aip := m.Data[i*n+p]
+						aiq := m.Data[i*n+q]
+						m.Data[i*n+p] = aip - s*(aiq+tau*aip)
+						m.Data[i*n+q] = aiq + s*(aip-tau*aiq)
+						m.Data[p*n+i] = m.Data[i*n+p]
+						m.Data[q*n+i] = m.Data[i*n+q]
+					}
+					vip := v.Data[i*n+p]
+					viq := v.Data[i*n+q]
+					v.Data[i*n+p] = vip - s*(viq+tau*vip)
+					v.Data[i*n+q] = viq + s*(vip-tau*viq)
+				}
+			}
+		}
+	}
+
+	w = make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = m.Data[i*n+i]
+	}
+	// Sort eigenpairs ascending.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return w[idx[i]] < w[idx[j]] })
+	ws := make([]float64, n)
+	vs := NewMat(n, n)
+	for col, src := range idx {
+		ws[col] = w[src]
+		for i := 0; i < n; i++ {
+			vs.Data[i*n+col] = v.Data[i*n+src]
+		}
+	}
+	return ws, vs
+}
+
+// InvSqrtSym returns A^{-1/2} for a symmetric positive-definite matrix,
+// computed through the eigendecomposition (the J^{-1/2}_PQ of paper
+// Eq. 6). Eigenvalues below dropTol·max(w) are discarded (canonical
+// orthogonalisation), which also guards near-linear-dependent auxiliary
+// basis sets.
+func InvSqrtSym(a *Mat, dropTol float64) *Mat {
+	w, v := EigSym(a)
+	n := a.Rows
+	wmax := 0.0
+	for _, x := range w {
+		if x > wmax {
+			wmax = x
+		}
+	}
+	half := NewMat(n, n)
+	for j := 0; j < n; j++ {
+		if w[j] <= dropTol*wmax || w[j] <= 0 {
+			continue // drop the near-null direction
+		}
+		s := 1 / math.Sqrt(w[j])
+		for i := 0; i < n; i++ {
+			half.Data[i*n+j] = v.Data[i*n+j] * s
+		}
+	}
+	return MatMul(NoTrans, Trans, half, v)
+}
+
+// SqrtSym returns A^{1/2} for a symmetric positive semi-definite matrix.
+func SqrtSym(a *Mat) *Mat {
+	w, v := EigSym(a)
+	n := a.Rows
+	half := NewMat(n, n)
+	for j := 0; j < n; j++ {
+		if w[j] < 0 {
+			w[j] = 0
+		}
+		s := math.Sqrt(w[j])
+		for i := 0; i < n; i++ {
+			half.Data[i*n+j] = v.Data[i*n+j] * s
+		}
+	}
+	return MatMul(NoTrans, Trans, half, v)
+}

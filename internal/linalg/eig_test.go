@@ -1,0 +1,113 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSym(rng *rand.Rand, n int) *Mat {
+	m := randMat(rng, n, n)
+	return m.Sym()
+}
+
+func TestEigSymReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 5, 20, 60} {
+		a := randSym(rng, n)
+		w, v := EigSym(a)
+		// A·v_j == w_j·v_j
+		for j := 0; j < n; j++ {
+			col := make([]float64, n)
+			for i := 0; i < n; i++ {
+				col[i] = v.At(i, j)
+			}
+			av := a.MulVec(col)
+			for i := 0; i < n; i++ {
+				if math.Abs(av[i]-w[j]*col[i]) > 1e-8 {
+					t.Fatalf("n=%d: eigenpair %d violates A v = w v (Δ=%g)", n, j, av[i]-w[j]*col[i])
+				}
+			}
+		}
+		// Eigenvalues ascending.
+		for j := 1; j < n; j++ {
+			if w[j] < w[j-1]-1e-12 {
+				t.Fatalf("eigenvalues not ascending: %v", w)
+			}
+		}
+		// V orthogonal.
+		vtv := MatMul(Trans, NoTrans, v, v)
+		eye := Identity(n)
+		for i := range vtv.Data {
+			if math.Abs(vtv.Data[i]-eye.Data[i]) > 1e-9 {
+				t.Fatalf("n=%d: eigenvectors not orthonormal", n)
+			}
+		}
+	}
+}
+
+func TestEigSymTraceInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		a := randSym(rng, n)
+		w, _ := EigSym(a)
+		var s float64
+		for _, x := range w {
+			s += x
+		}
+		return math.Abs(s-a.Trace()) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvSqrtSym(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 3, 12, 40} {
+		// SPD matrix: M Mᵀ + n·I.
+		m := randMat(rng, n, n)
+		a := MatMul(NoTrans, Trans, m, m)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n))
+		}
+		x := InvSqrtSym(a, 1e-12)
+		// x·a·x == I
+		xa := MatMul(NoTrans, NoTrans, x, a)
+		xax := MatMul(NoTrans, NoTrans, xa, x)
+		eye := Identity(n)
+		for i := range xax.Data {
+			if math.Abs(xax.Data[i]-eye.Data[i]) > 1e-8 {
+				t.Fatalf("n=%d: A^{-1/2} A A^{-1/2} != I (Δ=%g)", n, xax.Data[i]-eye.Data[i])
+			}
+		}
+	}
+}
+
+func TestSqrtSym(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 8
+	m := randMat(rng, n, n)
+	a := MatMul(NoTrans, Trans, m, m)
+	s := SqrtSym(a)
+	ss := MatMul(NoTrans, NoTrans, s, s)
+	for i := range ss.Data {
+		if math.Abs(ss.Data[i]-a.Data[i]) > 1e-8 {
+			t.Fatal("SqrtSym squared != A")
+		}
+	}
+}
+
+func TestInvSqrtSymDropsNullSpace(t *testing.T) {
+	// Rank-1 2x2 matrix; the null direction must be projected out,
+	// not blow up.
+	a := NewMatFrom(2, 2, []float64{1, 1, 1, 1})
+	x := InvSqrtSym(a, 1e-10)
+	for _, v := range x.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("InvSqrtSym produced non-finite values on singular input")
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Transpose selects whether a GEMM operand is used as-is or transposed.
+type Transpose bool
+
+// Operand orientations for Gemm.
+const (
+	NoTrans Transpose = false
+	Trans   Transpose = true
+)
+
+func (t Transpose) String() string {
+	if t {
+		return "T"
+	}
+	return "N"
+}
+
+// Variant identifies one of the four GEMM algorithmic variants
+// (paper Table IV): the orientation pair of the two operands.
+type Variant int
+
+// The four GEMM variants.
+const (
+	VariantNN Variant = iota
+	VariantNT
+	VariantTN
+	VariantTT
+)
+
+var variantNames = [...]string{"NN", "NT", "TN", "TT"}
+
+func (v Variant) String() string { return variantNames[v] }
+
+// VariantOf returns the variant matching an orientation pair.
+func VariantOf(tA, tB Transpose) Variant {
+	switch a, b := bool(tA), bool(tB); {
+	case !a && !b:
+		return VariantNN
+	case !a && b:
+		return VariantNT
+	case a && !b:
+		return VariantTN
+	default:
+		return VariantTT
+	}
+}
+
+// flopCount accumulates 2·m·n·k for every GEMM call, mirroring the
+// paper's runtime FLOP measurement mechanism (§VI-C). It deliberately
+// counts only GEMM work, giving the same "exact lower bound" semantics.
+var flopCount atomic.Int64
+
+// FLOPs returns the GEMM floating-point operations counted so far.
+func FLOPs() int64 { return flopCount.Load() }
+
+// ResetFLOPs zeroes the global GEMM FLOP counter and returns the
+// previous value.
+func ResetFLOPs() int64 { return flopCount.Swap(0) }
+
+// AddFLOPs credits n externally-performed floating point operations to
+// the global counter (used by non-GEMM kernels that opt in).
+func AddFLOPs(n int64) { flopCount.Add(n) }
+
+// parallelThreshold is the m*n*k product above which Gemm fans work out
+// across goroutines.
+const parallelThreshold = 1 << 17
+
+// Gemm computes C = alpha·op(A)·op(B) + beta·C where op is controlled by
+// tA and tB. Dimensions: op(A) is m×k, op(B) is k×n, C is m×n.
+// The work is counted as 2·m·n·k FLOPs in the global counter.
+func Gemm(tA, tB Transpose, alpha float64, a, b *Mat, beta float64, c *Mat) {
+	m, k := a.Rows, a.Cols
+	if tA {
+		m, k = a.Cols, a.Rows
+	}
+	kb, n := b.Rows, b.Cols
+	if tB {
+		kb, n = b.Cols, b.Rows
+	}
+	if k != kb {
+		panic("linalg: Gemm inner dimension mismatch")
+	}
+	if c.Rows != m || c.Cols != n {
+		panic("linalg: Gemm output dimension mismatch")
+	}
+	flopCount.Add(2 * int64(m) * int64(n) * int64(k))
+
+	if beta == 0 {
+		c.Zero()
+	} else if beta != 1 {
+		c.Scale(beta)
+	}
+	if m == 0 || n == 0 || k == 0 || alpha == 0 {
+		return
+	}
+
+	work := int64(m) * int64(n) * int64(k)
+	nw := 1
+	if work > parallelThreshold {
+		nw = runtime.GOMAXPROCS(0)
+		if nw > m {
+			nw = m
+		}
+	}
+	if nw <= 1 {
+		gemmRange(tA, tB, alpha, a, b, c, 0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmRange(tA, tB, alpha, a, b, c, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmRange dispatches rows [lo,hi) of C to the variant kernel.
+func gemmRange(tA, tB Transpose, alpha float64, a, b, c *Mat, lo, hi int) {
+	switch VariantOf(tA, tB) {
+	case VariantNN:
+		gemmNN(alpha, a, b, c, lo, hi)
+	case VariantNT:
+		gemmNT(alpha, a, b, c, lo, hi)
+	case VariantTN:
+		gemmTN(alpha, a, b, c, lo, hi)
+	default:
+		gemmTT(alpha, a, b, c, lo, hi)
+	}
+}
+
+// gemmNN: C += alpha·A·B. Streams rows of B with an i-k-j loop order,
+// which is cache-friendly for row-major operands — typically the fastest
+// variant for square-ish shapes.
+func gemmNN(alpha float64, a, b, c *Mat, lo, hi int) {
+	n := c.Cols
+	k := a.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for l := 0; l < k; l++ {
+			av := alpha * arow[l]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[l*n : l*n+n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// gemmNT: C += alpha·A·Bᵀ. Pure dot products of contiguous rows — the
+// best variant when k is very large and m, n small (the "tall-skinny"
+// contraction shapes of RI-MP2, cf. Table IV row 1).
+func gemmNT(alpha float64, a, b, c *Mat, lo, hi int) {
+	n := c.Cols
+	k := a.Cols
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : j*k+k]
+			var s float64
+			for l, av := range arow {
+				s += av * brow[l]
+			}
+			crow[j] += alpha * s
+		}
+	}
+}
+
+// tnBlock is the k-panel height for the TN kernel.
+const tnBlock = 64
+
+// gemmTN: C += alpha·Aᵀ·B. Both operands are traversed row-by-row in a
+// k-outer accumulation, so all reads are contiguous; the variant of
+// choice when m and n are small relative to k (Table IV rows 2–3).
+func gemmTN(alpha float64, a, b, c *Mat, lo, hi int) {
+	n := c.Cols
+	k := a.Rows // op(A) is m×k with A stored k×m
+	m := a.Cols
+	_ = m
+	for l0 := 0; l0 < k; l0 += tnBlock {
+		l1 := l0 + tnBlock
+		if l1 > k {
+			l1 = k
+		}
+		for l := l0; l < l1; l++ {
+			arow := a.Row(l)
+			brow := b.Data[l*n : l*n+n]
+			for i := lo; i < hi; i++ {
+				av := alpha * arow[i]
+				if av == 0 {
+					continue
+				}
+				crow := c.Row(i)
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// gemmTT: C += alpha·Aᵀ·Bᵀ. Strided reads of both operands; kept
+// deliberately simple — like the vendor libraries in Table IV, TT is the
+// slowest variant for most shapes, which is exactly what gives the
+// auto-tuner something to avoid.
+func gemmTT(alpha float64, a, b, c *Mat, lo, hi int) {
+	n := c.Cols
+	k := a.Rows
+	for i := lo; i < hi; i++ {
+		crow := c.Row(i)
+		for j := 0; j < n; j++ {
+			var s float64
+			for l := 0; l < k; l++ {
+				s += a.Data[l*a.Cols+i] * b.Data[j*b.Cols+l]
+			}
+			crow[j] += alpha * s
+		}
+	}
+}
+
+// MatMul returns op(A)·op(B) as a fresh matrix (alpha=1, beta=0).
+func MatMul(tA, tB Transpose, a, b *Mat) *Mat {
+	m := a.Rows
+	if tA {
+		m = a.Cols
+	}
+	n := b.Cols
+	if tB {
+		n = b.Rows
+	}
+	c := NewMat(m, n)
+	Gemm(tA, tB, 1, a, b, 0, c)
+	return c
+}

@@ -1,0 +1,195 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(rng *rand.Rand, r, c int) *Mat {
+	m := NewMat(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// refGemm is a deliberately naive reference implementation.
+func refGemm(tA, tB Transpose, alpha float64, a, b *Mat, beta float64, c *Mat) {
+	get := func(m *Mat, t Transpose, i, j int) float64 {
+		if t {
+			return m.At(j, i)
+		}
+		return m.At(i, j)
+	}
+	mm, k := a.Rows, a.Cols
+	if tA {
+		mm, k = a.Cols, a.Rows
+	}
+	n := b.Cols
+	if tB {
+		n = b.Rows
+	}
+	for i := 0; i < mm; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for l := 0; l < k; l++ {
+				s += get(a, tA, i, l) * get(b, tB, l, j)
+			}
+			c.Set(i, j, alpha*s+beta*c.At(i, j))
+		}
+	}
+}
+
+func matsClose(t *testing.T, got, want *Mat, tol float64) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("dims %dx%d vs %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		if d := math.Abs(got.Data[i] - want.Data[i]); d > tol {
+			t.Fatalf("element %d: got %g want %g (|Δ|=%g)", i, got.Data[i], want.Data[i], d)
+		}
+	}
+}
+
+func TestGemmAllVariantsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {8, 8, 8}, {17, 5, 31}, {64, 64, 64}, {5, 90, 7}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		for _, tA := range []Transpose{NoTrans, Trans} {
+			for _, tB := range []Transpose{NoTrans, Trans} {
+				a := randMat(rng, m, k)
+				if tA {
+					a = randMat(rng, k, m)
+				}
+				b := randMat(rng, k, n)
+				if tB {
+					b = randMat(rng, n, k)
+				}
+				c0 := randMat(rng, m, n)
+				got := c0.Clone()
+				want := c0.Clone()
+				Gemm(tA, tB, 1.3, a, b, 0.7, got)
+				refGemm(tA, tB, 1.3, a, b, 0.7, want)
+				matsClose(t, got, want, 1e-11*float64(k+1))
+			}
+		}
+	}
+}
+
+func TestGemmParallelPathMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Big enough to cross parallelThreshold.
+	a := randMat(rng, 96, 96)
+	b := randMat(rng, 96, 96)
+	got := NewMat(96, 96)
+	Gemm(NoTrans, NoTrans, 1, a, b, 0, got)
+	want := NewMat(96, 96)
+	refGemm(NoTrans, NoTrans, 1, a, b, 0, want)
+	matsClose(t, got, want, 1e-10)
+}
+
+func TestGemmBetaZeroOverwritesNaN(t *testing.T) {
+	a := Identity(2)
+	b := Identity(2)
+	c := NewMat(2, 2)
+	c.Set(0, 0, math.NaN())
+	Gemm(NoTrans, NoTrans, 1, a, b, 0, c)
+	if math.IsNaN(c.At(0, 0)) {
+		t.Fatal("beta=0 must overwrite, not scale, existing NaN")
+	}
+}
+
+func TestFLOPCounting(t *testing.T) {
+	ResetFLOPs()
+	a := NewMat(7, 11)
+	b := NewMat(11, 13)
+	c := NewMat(7, 13)
+	Gemm(NoTrans, NoTrans, 1, a, b, 0, c)
+	want := int64(2 * 7 * 11 * 13)
+	if got := FLOPs(); got != want {
+		t.Fatalf("FLOPs = %d, want %d", got, want)
+	}
+	if prev := ResetFLOPs(); prev != want {
+		t.Fatalf("ResetFLOPs returned %d, want %d", prev, want)
+	}
+	if FLOPs() != 0 {
+		t.Fatal("counter must be zero after reset")
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ for random small matrices.
+func TestQuickTransposeProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(12), 1+rng.Intn(12), 1+rng.Intn(12)
+		a := randMat(rng, m, k)
+		b := randMat(rng, k, n)
+		ab := MatMul(NoTrans, NoTrans, a, b)
+		btat := MatMul(Trans, Trans, b, a)
+		d := ab.T()
+		for i := range d.Data {
+			if math.Abs(d.Data[i]-btat.Data[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Gemm is linear in alpha.
+func TestQuickGemmLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := randMat(rng, n, n)
+		b := randMat(rng, n, n)
+		c1 := NewMat(n, n)
+		c2 := NewMat(n, n)
+		Gemm(NoTrans, NoTrans, 2.5, a, b, 0, c1)
+		Gemm(NoTrans, NoTrans, 1, a, b, 0, c2)
+		c2.Scale(2.5)
+		for i := range c1.Data {
+			if math.Abs(c1.Data[i]-c2.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantOf(t *testing.T) {
+	cases := []struct {
+		tA, tB Transpose
+		want   Variant
+	}{
+		{NoTrans, NoTrans, VariantNN},
+		{NoTrans, Trans, VariantNT},
+		{Trans, NoTrans, VariantTN},
+		{Trans, Trans, VariantTT},
+	}
+	for _, c := range cases {
+		if got := VariantOf(c.tA, c.tB); got != c.want {
+			t.Errorf("VariantOf(%v,%v) = %v, want %v", c.tA, c.tB, got, c.want)
+		}
+	}
+	if VariantNT.String() != "NT" || VariantTT.String() != "TT" {
+		t.Error("variant names wrong")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := NewMatFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	y := a.MulVec([]float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}

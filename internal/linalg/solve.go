@@ -1,0 +1,166 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular reports a (numerically) singular matrix in a factorisation.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// Cholesky computes the lower-triangular factor L with A = L·Lᵀ for a
+// symmetric positive-definite A. The input is not modified.
+func Cholesky(a *Mat) (*Mat, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: Cholesky requires a square matrix")
+	}
+	n := a.Rows
+	l := NewMat(n, n)
+	for j := 0; j < n; j++ {
+		d := a.Data[j*n+j]
+		for k := 0; k < j; k++ {
+			d -= l.Data[j*n+k] * l.Data[j*n+k]
+		}
+		if d <= 0 {
+			return nil, ErrSingular
+		}
+		ljj := math.Sqrt(d)
+		l.Data[j*n+j] = ljj
+		for i := j + 1; i < n; i++ {
+			s := a.Data[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= l.Data[i*n+k] * l.Data[j*n+k]
+			}
+			l.Data[i*n+j] = s / ljj
+		}
+	}
+	return l, nil
+}
+
+// SolveSPD solves A·x = b for symmetric positive-definite A via Cholesky.
+// b is a matrix of one or more right-hand-side columns.
+func SolveSPD(a, b *Mat) (*Mat, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	nrhs := b.Cols
+	x := b.Clone()
+	// Forward substitution L·y = b.
+	for c := 0; c < nrhs; c++ {
+		for i := 0; i < n; i++ {
+			s := x.Data[i*nrhs+c]
+			for k := 0; k < i; k++ {
+				s -= l.Data[i*n+k] * x.Data[k*nrhs+c]
+			}
+			x.Data[i*nrhs+c] = s / l.Data[i*n+i]
+		}
+		// Back substitution Lᵀ·x = y.
+		for i := n - 1; i >= 0; i-- {
+			s := x.Data[i*nrhs+c]
+			for k := i + 1; k < n; k++ {
+				s -= l.Data[k*n+i] * x.Data[k*nrhs+c]
+			}
+			x.Data[i*nrhs+c] = s / l.Data[i*n+i]
+		}
+	}
+	return x, nil
+}
+
+// LU holds a row-pivoted LU factorisation P·A = L·U packed in a single
+// matrix (unit lower triangle implicit).
+type LU struct {
+	lu   *Mat
+	piv  []int
+	sign int
+}
+
+// NewLU factorises a square matrix with partial pivoting.
+func NewLU(a *Mat) (*LU, error) {
+	if a.Rows != a.Cols {
+		panic("linalg: NewLU requires a square matrix")
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1
+	for k := 0; k < n; k++ {
+		p := k
+		mx := math.Abs(lu.Data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.Data[i*n+k]); v > mx {
+				mx, p = v, i
+			}
+		}
+		if mx == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu.Data[p*n+j], lu.Data[k*n+j] = lu.Data[k*n+j], lu.Data[p*n+j]
+			}
+			piv[p], piv[k] = piv[k], piv[p]
+			sign = -sign
+		}
+		pivVal := lu.Data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			f := lu.Data[i*n+k] / pivVal
+			lu.Data[i*n+k] = f
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Data[i*n+j] -= f * lu.Data[k*n+j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Solve solves A·x = b for the factorised A; b has one or more columns.
+func (f *LU) Solve(b *Mat) *Mat {
+	n := f.lu.Rows
+	if b.Rows != n {
+		panic("linalg: LU.Solve dimension mismatch")
+	}
+	nrhs := b.Cols
+	x := NewMat(n, nrhs)
+	for i := 0; i < n; i++ {
+		copy(x.Row(i), b.Row(f.piv[i]))
+	}
+	for c := 0; c < nrhs; c++ {
+		for i := 1; i < n; i++ {
+			s := x.Data[i*nrhs+c]
+			for k := 0; k < i; k++ {
+				s -= f.lu.Data[i*n+k] * x.Data[k*nrhs+c]
+			}
+			x.Data[i*nrhs+c] = s
+		}
+		for i := n - 1; i >= 0; i-- {
+			s := x.Data[i*nrhs+c]
+			for k := i + 1; k < n; k++ {
+				s -= f.lu.Data[i*n+k] * x.Data[k*nrhs+c]
+			}
+			x.Data[i*nrhs+c] = s / f.lu.Data[i*n+i]
+		}
+	}
+	return x
+}
+
+// Solve solves A·x = b by LU with partial pivoting.
+func Solve(a, b *Mat) (*Mat, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Inverse returns A^{-1} via LU.
+func Inverse(a *Mat) (*Mat, error) {
+	return Solve(a, Identity(a.Rows))
+}

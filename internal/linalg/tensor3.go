@@ -1,0 +1,52 @@
+package linalg
+
+// Tensor3 is a dense rank-3 tensor stored contiguously with the first
+// index slowest: element (p, i, j) lives at Data[(p*N2+i)*N3+j].
+// It is the storage used for the RI three-index intermediates
+// B^P_μν, B^P_ia and Γ^P_μν of the paper; the contiguous layout allows
+// zero-copy matrix views so every contraction is a plain GEMM.
+type Tensor3 struct {
+	N1, N2, N3 int
+	Data       []float64
+}
+
+// NewTensor3 allocates a zeroed n1×n2×n3 tensor.
+func NewTensor3(n1, n2, n3 int) *Tensor3 {
+	return &Tensor3{N1: n1, N2: n2, N3: n3, Data: make([]float64, n1*n2*n3)}
+}
+
+// At returns element (p, i, j).
+func (t *Tensor3) At(p, i, j int) float64 { return t.Data[(p*t.N2+i)*t.N3+j] }
+
+// Set assigns element (p, i, j).
+func (t *Tensor3) Set(p, i, j int, v float64) { t.Data[(p*t.N2+i)*t.N3+j] = v }
+
+// Add increments element (p, i, j) by v.
+func (t *Tensor3) Add(p, i, j int, v float64) { t.Data[(p*t.N2+i)*t.N3+j] += v }
+
+// Slice returns a zero-copy n2×n3 matrix view of block p. Mutating the
+// view mutates the tensor.
+func (t *Tensor3) Slice(p int) *Mat {
+	off := p * t.N2 * t.N3
+	return &Mat{Rows: t.N2, Cols: t.N3, Data: t.Data[off : off+t.N2*t.N3]}
+}
+
+// Flatten returns a zero-copy N1×(N2·N3) matrix view of the whole tensor,
+// used to apply J^{-1/2} across the auxiliary index with one GEMM.
+func (t *Tensor3) Flatten() *Mat {
+	return &Mat{Rows: t.N1, Cols: t.N2 * t.N3, Data: t.Data}
+}
+
+// Clone returns a deep copy.
+func (t *Tensor3) Clone() *Tensor3 {
+	c := NewTensor3(t.N1, t.N2, t.N3)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Zero sets all elements to zero.
+func (t *Tensor3) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}

@@ -1,0 +1,69 @@
+package md
+
+import (
+	"math"
+
+	"github.com/fragmd/fragmd/internal/chem"
+)
+
+// Berendsen is a weak-coupling thermostat: velocities are rescaled each
+// step by λ = √(1 + dt/τ·(T₀/T − 1)). The paper's production runs are
+// NVE (§VII-A); the thermostat is provided for equilibration before
+// production dynamics, the usual workflow for the crystal and fibril
+// systems.
+type Berendsen struct {
+	// TargetK is the target temperature in Kelvin.
+	TargetK float64
+	// TauFs is the coupling time constant in femtoseconds (default 50).
+	TauFs float64
+}
+
+// Scale returns the velocity scaling factor for the current state and
+// time step (atomic units).
+func (b *Berendsen) Scale(s *State, dt float64) float64 {
+	tau := b.TauFs
+	if tau == 0 {
+		tau = 50
+	}
+	tK := s.Temperature()
+	if tK <= 0 {
+		return 1
+	}
+	dtFs := dt * chem.FsPerAtomicTime
+	f := 1 + dtFs/tau*(b.TargetK/tK-1)
+	if f < 0.64 {
+		f = 0.64 // clamp rescaling to ±20 % in velocity
+	}
+	if f > 1.44 {
+		f = 1.44
+	}
+	return math.Sqrt(f)
+}
+
+// Apply rescales the state's velocities in place.
+func (b *Berendsen) Apply(s *State, dt float64) {
+	lam := b.Scale(s, dt)
+	for i := range s.Vel {
+		for k := 0; k < 3; k++ {
+			s.Vel[i][k] *= lam
+		}
+	}
+}
+
+// RunNVT integrates n velocity-Verlet steps with Berendsen coupling
+// applied after each step — an equilibration helper; switch to
+// VelocityVerlet.Run (NVE) for production trajectories.
+func (vv *VelocityVerlet) RunNVT(s *State, n int, thermo *Berendsen, obs Observer) error {
+	for step := 0; step < n; step++ {
+		if err := vv.Run(s, 2, func(si StepInfo) {
+			if si.Step == 0 && obs != nil {
+				si.Step = step
+				obs(si)
+			}
+		}); err != nil {
+			return err
+		}
+		thermo.Apply(s, vv.Dt)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package md
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/fragmd/fragmd/internal/chem"
+	"github.com/fragmd/fragmd/internal/molecule"
+)
+
+// The Berendsen thermostat must pull the kinetic temperature toward the
+// target from both directions.
+func TestBerendsenPullsTowardTarget(t *testing.T) {
+	for _, startK := range []float64{50.0, 600.0} {
+		g := molecule.WaterCluster(4)
+		s := NewState(g)
+		s.SampleVelocities(startK, rand.New(rand.NewSource(4)))
+		thermo := &Berendsen{TargetK: 300, TauFs: 10}
+		vv := &VelocityVerlet{Dt: 0.5 * chem.AtomicTimePerFs, Provider: ljProvider()}
+		before := s.Temperature()
+		if err := vv.RunNVT(s, 60, thermo, nil); err != nil {
+			t.Fatal(err)
+		}
+		after := s.Temperature()
+		if distBefore, distAfter := absf(before-300), absf(after-300); distAfter >= distBefore {
+			t.Errorf("start %g K: temperature did not approach target (%.0f → %.0f K)", startK, before, after)
+		}
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestBerendsenScaleClamps(t *testing.T) {
+	g := molecule.Water()
+	s := NewState(g)
+	s.SampleVelocities(1, rand.New(rand.NewSource(5))) // far below target
+	b := &Berendsen{TargetK: 10000, TauFs: 0.001}      // absurd coupling
+	lam := b.Scale(s, 1.0*chem.AtomicTimePerFs)
+	if lam > 1.2000001 {
+		t.Errorf("scale %.3f exceeds clamp", lam)
+	}
+}
+
+func TestTrajectoryWriter(t *testing.T) {
+	g := molecule.Water()
+	s := NewState(g)
+	var buf bytes.Buffer
+	tw := &TrajectoryWriter{W: &buf, Stride: 2}
+	vv := &VelocityVerlet{Dt: 0.5 * chem.AtomicTimePerFs, Provider: ljProvider()}
+	if err := vv.Run(s, 5, tw.Observer(s)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	frames := strings.Count(out, "step=")
+	if frames != 3 { // steps 0, 2, 4 with stride 2
+		t.Errorf("frames = %d, want 3", frames)
+	}
+	// Each frame must be parseable XYZ.
+	first := strings.SplitN(out, "step=", 2)[0]
+	if !strings.HasPrefix(first, "3\n") {
+		t.Errorf("frame header wrong: %q", first)
+	}
+	if _, err := molecule.ParseXYZ(strings.NewReader(out)); err != nil {
+		t.Errorf("first frame not parseable: %v", err)
+	}
+}

@@ -1,0 +1,49 @@
+package md
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/fragmd/fragmd/internal/chem"
+)
+
+// TrajectoryWriter streams an MD trajectory as concatenated XYZ frames
+// (the multi-frame format every molecular viewer reads).
+type TrajectoryWriter struct {
+	W io.Writer
+	// Stride writes every Stride-th frame (default 1).
+	Stride int
+	frames int
+}
+
+// WriteFrame appends one frame with the step index and energies encoded
+// in the comment line.
+func (tw *TrajectoryWriter) WriteFrame(s *State, step int, epot, etot float64) error {
+	stride := tw.Stride
+	if stride <= 0 {
+		stride = 1
+	}
+	tw.frames++
+	if (tw.frames-1)%stride != 0 {
+		return nil
+	}
+	g := s.Geom
+	if _, err := fmt.Fprintf(tw.W, "%d\nstep=%d epot=%.10f etot=%.10f\n", g.N(), step, epot, etot); err != nil {
+		return err
+	}
+	for _, a := range g.Atoms {
+		if _, err := fmt.Fprintf(tw.W, "%-3s % 15.8f % 15.8f % 15.8f\n", chem.Symbol(a.Z),
+			a.Pos[0]*chem.AngstromPerBohr, a.Pos[1]*chem.AngstromPerBohr, a.Pos[2]*chem.AngstromPerBohr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Observer adapts the writer to the md.Observer interface for a fixed
+// state reference (the integrator mutates the state in place).
+func (tw *TrajectoryWriter) Observer(s *State) Observer {
+	return func(si StepInfo) {
+		_ = tw.WriteFrame(s, si.Step, si.Epot, si.Etot)
+	}
+}

@@ -1,0 +1,157 @@
+package molecule
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/fragmd/fragmd/internal/chem"
+)
+
+func TestWaterGeometry(t *testing.T) {
+	g := Water()
+	if g.N() != 3 || g.NumElectrons() != 10 {
+		t.Fatalf("water: %d atoms, %d electrons", g.N(), g.NumElectrons())
+	}
+	roh := g.Dist(0, 1) * chem.AngstromPerBohr
+	if math.Abs(roh-0.9572) > 1e-6 {
+		t.Errorf("r(OH) = %.4f Å", roh)
+	}
+	// H–O–H angle.
+	a, b, c := g.Atoms[1].Pos, g.Atoms[0].Pos, g.Atoms[2].Pos
+	var v1, v2 [3]float64
+	var d1, d2, dot float64
+	for k := 0; k < 3; k++ {
+		v1[k] = a[k] - b[k]
+		v2[k] = c[k] - b[k]
+		d1 += v1[k] * v1[k]
+		d2 += v2[k] * v2[k]
+		dot += v1[k] * v2[k]
+	}
+	angle := math.Acos(dot/math.Sqrt(d1*d2)) * 180 / math.Pi
+	if math.Abs(angle-104.52) > 0.01 {
+		t.Errorf("∠HOH = %.2f°", angle)
+	}
+}
+
+func TestBuildersComposition(t *testing.T) {
+	if g := Urea(); g.N() != 8 || g.NumElectrons() != 32 {
+		t.Errorf("urea: %d atoms, %d e−", g.N(), g.NumElectrons())
+	}
+	if g := Paracetamol(); g.N() != 20 || g.NumElectrons() != 80 {
+		t.Errorf("paracetamol: %d atoms, %d e−", g.N(), g.NumElectrons())
+	}
+	g, res := Polyglycine(4)
+	if g.N() != 7*4+3 {
+		t.Errorf("Gly4: %d atoms, want %d", g.N(), 7*4+3)
+	}
+	if len(res) != 4 || len(res[0]) != 8 || len(res[3]) != 9 {
+		t.Errorf("Gly4 residues: %d, terminal sizes %d/%d", len(res), len(res[0]), len(res[3]))
+	}
+	// 2BEG-scale fibril: 4 strands × 53 residues = 1,496 atoms (paper).
+	fib, monomers := BetaFibril(4, 53)
+	if fib.N() != 1496 {
+		t.Errorf("2BEG analogue: %d atoms, want 1496", fib.N())
+	}
+	if len(monomers) != 4*53 {
+		t.Errorf("monomers = %d", len(monomers))
+	}
+}
+
+func TestBondsDetectChain(t *testing.T) {
+	g, _ := Polyglycine(2)
+	bonds := g.Bonds(1.25)
+	// A chain must be connected: at least natoms−1 bonds.
+	if len(bonds) < g.N()-1 {
+		t.Errorf("only %d bonds for %d atoms", len(bonds), g.N())
+	}
+	// No absurdly short contacts in the builders.
+	for i := 0; i < g.N(); i++ {
+		for j := i + 1; j < g.N(); j++ {
+			if g.Dist(i, j) < 0.8*chem.BohrPerAngstrom {
+				t.Fatalf("atoms %d,%d only %.2f Å apart", i, j, g.Dist(i, j)*chem.AngstromPerBohr)
+			}
+		}
+	}
+}
+
+func TestCrystalSphere(t *testing.T) {
+	g := UreaCrystalSphere(7)
+	if g.N()%8 != 0 {
+		t.Fatalf("urea sphere atoms %d not divisible by 8", g.N())
+	}
+	if g.N() < 8*10 {
+		t.Errorf("7 Å urea sphere too small: %d molecules", g.N()/8)
+	}
+	big := UreaCrystalSphere(10)
+	if big.N() <= g.N() {
+		t.Error("larger radius must add molecules")
+	}
+}
+
+func TestXYZRoundTrip(t *testing.T) {
+	g := Water()
+	var buf bytes.Buffer
+	if err := g.WriteXYZ(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseXYZ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != 3 {
+		t.Fatalf("round trip atoms = %d", g2.N())
+	}
+	for i := range g.Atoms {
+		if g.Atoms[i].Z != g2.Atoms[i].Z {
+			t.Fatal("element mismatch")
+		}
+		for k := 0; k < 3; k++ {
+			if math.Abs(g.Atoms[i].Pos[k]-g2.Atoms[i].Pos[k]) > 1e-7 {
+				t.Fatal("coordinate mismatch")
+			}
+		}
+	}
+	if _, err := ParseXYZ(strings.NewReader("x\n")); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := ParseXYZ(strings.NewReader("2\nc\nH 0 0 0\n")); err == nil {
+		t.Error("expected truncation error")
+	}
+}
+
+func TestNuclearRepulsionGradientFD(t *testing.T) {
+	g := Water()
+	grad := g.NuclearRepulsionGradient()
+	h := 1e-6
+	for i := range g.Atoms {
+		for d := 0; d < 3; d++ {
+			gp := g.Clone()
+			gp.Atoms[i].Pos[d] += h
+			gm := g.Clone()
+			gm.Atoms[i].Pos[d] -= h
+			fd := (gp.NuclearRepulsion() - gm.NuclearRepulsion()) / (2 * h)
+			if math.Abs(grad[3*i+d]-fd) > 1e-7 {
+				t.Errorf("E_nuc grad[%d,%d]: %.9f vs FD %.9f", i, d, grad[3*i+d], fd)
+			}
+		}
+	}
+}
+
+func TestTransformations(t *testing.T) {
+	g := Water()
+	c0 := g.Centroid()
+	g.Translate(1, 2, 3)
+	c1 := g.Centroid()
+	for k, want := range []float64{1, 2, 3} {
+		if math.Abs(c1[k]-c0[k]-want) > 1e-12 {
+			t.Fatal("translate broken")
+		}
+	}
+	d0 := g.Dist(0, 1)
+	g.RotateZ(0.7)
+	if math.Abs(g.Dist(0, 1)-d0) > 1e-12 {
+		t.Fatal("rotation must preserve distances")
+	}
+}

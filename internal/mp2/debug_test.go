@@ -1,0 +1,172 @@
+package mp2
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/fragmd/fragmd/internal/basis"
+	"github.com/fragmd/fragmd/internal/linalg"
+	"github.com/fragmd/fragmd/internal/molecule"
+	"github.com/fragmd/fragmd/internal/scf"
+)
+
+// White-box identity checks on the gradient intermediates.
+func TestDebugIdentities(t *testing.T) {
+	g := molecule.Water()
+	ref := runSCF(t, g, true, smallAux)
+	r, err := RIMP2(ref, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nocc := ref.NOcc
+	nvir := ref.NVirt()
+	naux := ref.Aux.N
+	eps := ref.Eps
+	tuner := r.opts.Tuner
+
+	// Rebuild amplitudes/gamma exactly as Gradient does.
+	tAll := make([]*linalg.Mat, nocc*nocc)
+	vij := linalg.NewMat(nvir, nvir)
+	for i := 0; i < nocc; i++ {
+		bi := r.bov.Slice(i)
+		for j := i; j < nocc; j++ {
+			tuner.Gemm(linalg.Trans, linalg.NoTrans, 1, bi, r.bov.Slice(j), 0, vij)
+			tij := linalg.NewMat(nvir, nvir)
+			for a := 0; a < nvir; a++ {
+				ea := eps[i] + eps[j] - eps[nocc+a]
+				for b := 0; b < nvir; b++ {
+					tij.Set(a, b, vij.At(a, b)/(ea-eps[nocc+b]))
+				}
+			}
+			tAll[i*nocc+j] = tij
+			if i != j {
+				tAll[j*nocc+i] = tij.T()
+			}
+		}
+	}
+	tilde := func(tm *linalg.Mat) *linalg.Mat {
+		tt := linalg.NewMat(nvir, nvir)
+		for a := 0; a < nvir; a++ {
+			for b := 0; b < nvir; b++ {
+				tt.Set(a, b, 2*tm.At(a, b)-tm.At(b, a))
+			}
+		}
+		return tt
+	}
+	gamma := linalg.NewTensor3(nocc, naux, nvir)
+	for i := 0; i < nocc; i++ {
+		gi := gamma.Slice(i)
+		for j := 0; j < nocc; j++ {
+			tuner.Gemm(linalg.NoTrans, linalg.Trans, 1, r.bov.Slice(j), tilde(tAll[i*nocc+j]), 1, gi)
+		}
+	}
+	// Identity 1: E2 = Σ_Pia γ^P_ia B^P_ia.
+	var e2check float64
+	for i := 0; i < nocc; i++ {
+		e2check += linalg.Dot(gamma.Slice(i), r.bov.Slice(i))
+	}
+	fmt.Printf("E2 = %.10f, Σγ·B = %.10f (Δ=%.2e)\n", r.Ecorr, e2check, r.Ecorr-e2check)
+	if math.Abs(e2check-r.Ecorr) > 1e-10 {
+		t.Error("identity E2 = γ·B violated")
+	}
+
+	// Identity 2: Λ_{j,i} − Λ_{i,j} = 2(εi−εj)P_ij on the oo block.
+	nbf := ref.Bs.N
+	lamOcc := linalg.NewMat(nbf, nocc)
+	bpo := linalg.NewMat(nbf, nocc)
+	bpv := linalg.NewMat(nbf, nvir)
+	gp := linalg.NewMat(nocc, nvir)
+	lamVir := linalg.NewMat(nbf, nvir)
+	for p := 0; p < naux; p++ {
+		bp := r.bmo.Slice(p)
+		for q := 0; q < nbf; q++ {
+			copy(bpo.Row(q), bp.Row(q)[:nocc])
+			copy(bpv.Row(q), bp.Row(q)[nocc:])
+		}
+		for i := 0; i < nocc; i++ {
+			copy(gp.Row(i), gamma.Slice(i).Row(p))
+		}
+		tuner.Gemm(linalg.NoTrans, linalg.Trans, 4, bpv, gp, 1, lamOcc)
+		tuner.Gemm(linalg.NoTrans, linalg.NoTrans, 4, bpo, gp, 1, lamVir)
+	}
+	poo := linalg.NewMat(nocc, nocc)
+	for i := 0; i < nocc; i++ {
+		for j := 0; j < nocc; j++ {
+			var s float64
+			for k := 0; k < nocc; k++ {
+				s += linalg.Dot(tilde(tAll[i*nocc+k]), tAll[j*nocc+k])
+			}
+			poo.Set(i, j, -2*s)
+		}
+	}
+	for i := 0; i < nocc; i++ {
+		for j := 0; j < nocc; j++ {
+			lhs := lamOcc.At(j, i) - lamOcc.At(i, j)
+			rhs := 2 * (eps[i] - eps[j]) * poo.At(i, j)
+			if math.Abs(lhs-rhs) > 1e-8 {
+				t.Errorf("Λ asym identity violated at (%d,%d): %.8f vs %.8f", i, j, lhs, rhs)
+			}
+		}
+	}
+
+	// Identity 3 (vv analogue): Λ_{b,a} − Λ_{a,b} = 2(εa−εb)P_ab.
+	pvv := linalg.NewMat(nvir, nvir)
+	for i := 0; i < nocc; i++ {
+		for j := 0; j < nocc; j++ {
+			tij := tAll[i*nocc+j]
+			tuner.Gemm(linalg.NoTrans, linalg.Trans, 2, tilde(tij), tij, 1, pvv)
+		}
+	}
+	for a := 0; a < nvir; a++ {
+		for b := 0; b < nvir; b++ {
+			lhs := lamVir.At(nocc+b, a) - lamVir.At(nocc+a, b)
+			rhs := 2 * (eps[nocc+a] - eps[nocc+b]) * pvv.At(a, b)
+			if math.Abs(lhs-rhs) > 1e-8 {
+				t.Errorf("Λvv asym identity violated at (%d,%d): %.8f vs %.8f", a, b, lhs, rhs)
+			}
+		}
+	}
+}
+
+// Compare the MP2-only analytic gradient against FD of Ecorr on H2.
+func TestDebugH2Decomposition(t *testing.T) {
+	g := molecule.New()
+	g.AddAtom(1, 0, 0, 0)
+	g.AddAtom(1, 0, 0, 1.4)
+
+	ecorr := func(gg *molecule.Geometry) float64 {
+		bs, _ := basis.Build("sto-3g", gg)
+		ref, err := scf.RHF(gg, bs, scf.Options{UseRI: true, AuxOpts: smallAux, ConvE: 1e-13, ConvErr: 1e-11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := RIMP2(ref, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rr.Ecorr
+	}
+	h := 1e-4
+	gp := g.Clone()
+	gp.Atoms[1].Pos[2] += h
+	gm := g.Clone()
+	gm.Atoms[1].Pos[2] -= h
+	fd := (ecorr(gp) - ecorr(gm)) / (2 * h)
+
+	ref := runSCF(t, g, true, smallAux)
+	r, _ := RIMP2(ref, Options{})
+	parts, err := r.gradientParts(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hf := ref.Gradient()
+	total := parts["total"]
+	fmt.Printf("dE2/dz2: FD = %.9f, analytic = %.9f (Δ=%.2e)\n",
+		fd, total[5]-hf[5], total[5]-hf[5]-fd)
+	for _, k := range []string{"mp2-1e", "mp2-w", "mp2-sep", "mp2-amp"} {
+		fmt.Printf("  %-8s z2 = %+.9f\n", k, parts[k][5])
+	}
+	sum := parts["mp2-1e"][5] + parts["mp2-w"][5] + parts["mp2-sep"][5] + parts["mp2-amp"][5]
+	fmt.Printf("  parts sum = %+.9f (want FD %.9f)\n", sum, fd)
+}

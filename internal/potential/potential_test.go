@@ -1,0 +1,89 @@
+package potential
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fragmd/fragmd/internal/molecule"
+)
+
+func TestLennardJonesGradientFD(t *testing.T) {
+	g := molecule.WaterCluster(2)
+	lj := &LennardJones{}
+	_, grad, err := lj.Evaluate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := 1e-6
+	for _, idx := range []int{0, 4, 3*g.N() - 1} {
+		atom, d := idx/3, idx%3
+		gp := g.Clone()
+		gp.Atoms[atom].Pos[d] += h
+		gm := g.Clone()
+		gm.Atoms[atom].Pos[d] -= h
+		ep, _, _ := lj.Evaluate(gp)
+		em, _, _ := lj.Evaluate(gm)
+		fd := (ep - em) / (2 * h)
+		if math.Abs(grad[idx]-fd) > 1e-9 {
+			t.Errorf("LJ grad[%d]: %.12f vs FD %.12f", idx, grad[idx], fd)
+		}
+	}
+}
+
+func TestLennardJonesInvariance(t *testing.T) {
+	g := molecule.WaterCluster(3)
+	lj := &LennardJones{}
+	e1, _, _ := lj.Evaluate(g)
+	g2 := g.Clone()
+	g2.Translate(3, -1, 2)
+	g2.RotateZ(1.1)
+	e2, _, _ := lj.Evaluate(g2)
+	if math.Abs(e1-e2) > 1e-12 {
+		t.Errorf("LJ energy not invariant: %g vs %g", e1, e2)
+	}
+}
+
+// The HF and RIMP2 evaluators must agree with each other in the
+// appropriate limits: RI-MP2 total < RI-HF total (correlation negative).
+func TestEvaluatorHierarchy(t *testing.T) {
+	g := molecule.Water()
+	hf := &HF{UseRI: true}
+	eHF, gradHF, err := hf.Evaluate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := &RIMP2{}
+	eMP2, gradMP2, err := mp.Evaluate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eMP2 >= eHF {
+		t.Errorf("MP2 total %.6f not below HF %.6f", eMP2, eHF)
+	}
+	if len(gradHF) != 3*g.N() || len(gradMP2) != 3*g.N() {
+		t.Fatal("gradient lengths")
+	}
+}
+
+// SCS changes the energy but not the (plain-MP2) gradient.
+func TestSCSEnergyOnly(t *testing.T) {
+	g := molecule.Water()
+	plain := &RIMP2{}
+	scs := &RIMP2{SCS: true}
+	e1, g1, err := plain.Evaluate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, g2, err := scs.Evaluate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 == e2 {
+		t.Error("SCS energy should differ from plain MP2")
+	}
+	for i := range g1 {
+		if math.Abs(g1[i]-g2[i]) > 1e-12 {
+			t.Fatal("gradient should be the plain-MP2 gradient in both cases")
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package scf
+
+import (
+	"github.com/fragmd/fragmd/internal/integrals"
+	"github.com/fragmd/fragmd/internal/linalg"
+)
+
+// Gradient returns the analytic nuclear gradient ∂E_HF/∂R (flat [3N],
+// Hartree/Bohr). On the RI path no four-center integral derivatives are
+// evaluated anywhere — the two-electron contribution reduces to the
+// Z^P_μν and ζ_PQ contractions of paper Eq. 10; on the conventional path
+// the full (μν|λσ)^ξ derivatives are recomputed on the fly.
+func (r *Result) Gradient() []float64 {
+	grad := r.Geom.NuclearRepulsionGradient()
+
+	// One-electron terms: Σ D_μν h^ξ_μν.
+	integrals.KineticDeriv(r.Bs, r.D, 1, grad)
+	integrals.NuclearDeriv(r.Bs, r.Geom, r.D, 1, grad)
+
+	// Pulay term: −Σ W_μν S^ξ_μν, W = 2 Σ_i ε_i C_i C_iᵀ.
+	w := r.EnergyWeightedDensity()
+	integrals.OverlapDeriv(r.Bs, w, -1, grad)
+
+	if r.B != nil {
+		z := linalg.NewTensor3(r.Aux.N, r.Bs.N, r.Bs.N)
+		zeta := linalg.NewMat(r.Aux.N, r.Aux.N)
+		r.AddRISeparableCoeffs(r.D, r.D, 0.5, z, zeta)
+		integrals.ThreeCenterDeriv(r.Bs, r.Aux, z, 1, grad)
+		integrals.TwoCenterDeriv(r.Aux, zeta, 1, grad)
+	} else {
+		integrals.FourCenterDerivHF(r.Bs, r.D, r.Schwarz, r.opts.SchwarzThresh, 1, grad)
+	}
+	return grad
+}
+
+// EnergyWeightedDensity returns W_μν = 2 Σ_i^occ ε_i C_μi C_νi.
+func (r *Result) EnergyWeightedDensity() *linalg.Mat {
+	n := r.Bs.N
+	w := linalg.NewMat(n, n)
+	for mu := 0; mu < n; mu++ {
+		for nu := 0; nu < n; nu++ {
+			var s float64
+			for i := 0; i < r.NOcc; i++ {
+				s += r.Eps[i] * r.C.At(mu, i) * r.C.At(nu, i)
+			}
+			w.Set(mu, nu, 2*s)
+		}
+	}
+	return w
+}
+
+// CTilde returns the tensor C̃_P = Σ_Q J^{-1}_PQ (Q|μν) (lazily built and
+// cached; geometry is immutable per Result).
+func (r *Result) CTilde() *linalg.Tensor3 {
+	if r.ctilde == nil {
+		r.ctilde = linalg.NewTensor3(r.Aux.N, r.Bs.N, r.Bs.N)
+		r.opts.Tuner.Gemm(linalg.NoTrans, linalg.NoTrans, 1, r.JInvHalf, r.B.Flatten(), 0, r.ctilde.Flatten())
+	}
+	return r.ctilde
+}
+
+// AddRISeparableCoeffs accumulates into (zAcc, zetaAcc) the derivative
+// coefficients of the RI-factorised separable two-electron energy
+//
+//	E_sep(Da, Db) = factor · Σ_μνλσ Da_μν Db_λσ [(μν|λσ) − ½(μλ|νσ)]_RI
+//
+// such that dE_sep = Σ zAcc_Pμν (P|μν)^ξ + Σ zetaAcc_PQ (P|Q)^ξ.
+// Both densities must be symmetric. The HF energy uses (D, D) with
+// factor/2; the MP2 orbital-response coupling uses (P^relaxed, D_HF).
+func (r *Result) AddRISeparableCoeffs(da, db *linalg.Mat, factor float64, zAcc *linalg.Tensor3, zetaAcc *linalg.Mat) {
+	nbf := r.Bs.N
+	naux := r.Aux.N
+	tuner := r.opts.Tuner
+	ct := r.CTilde()
+
+	// u^x_P = Σ_μν V_Pμν Dx_μν ; w^x = J^{-1} u^x.
+	uvec := func(d *linalg.Mat) *linalg.Mat {
+		dv := &linalg.Mat{Rows: nbf * nbf, Cols: 1, Data: d.Data}
+		u := linalg.NewMat(naux, 1)
+		tuner.Gemm(linalg.NoTrans, linalg.NoTrans, 1, r.V3.Flatten(), dv, 0, u)
+		return u
+	}
+	applyJinv := func(u *linalg.Mat) *linalg.Mat {
+		t := linalg.NewMat(naux, 1)
+		tuner.Gemm(linalg.NoTrans, linalg.NoTrans, 1, r.JInvHalf, u, 0, t)
+		w := linalg.NewMat(naux, 1)
+		tuner.Gemm(linalg.NoTrans, linalg.NoTrans, 1, r.JInvHalf, t, 0, w)
+		return w
+	}
+	wa := applyJinv(uvec(da))
+	wb := applyJinv(uvec(db))
+
+	// Exchange intermediates Y_P = Da·C̃_P·Db (and the transposed pair),
+	// accumulated into zAcc; Coulomb adds w^b_P·Da + w^a_P·Db.
+	y := linalg.NewTensor3(naux, nbf, nbf)
+	tmp := linalg.NewMat(nbf, nbf)
+	for p := 0; p < naux; p++ {
+		cp := ct.Slice(p)
+		zp := zAcc.Slice(p)
+		yp := y.Slice(p)
+		// tmp = Da·C̃_P ; Y_P = tmp·Db.
+		tuner.Gemm(linalg.NoTrans, linalg.NoTrans, 1, da, cp, 0, tmp)
+		tuner.Gemm(linalg.NoTrans, linalg.NoTrans, 1, tmp, db, 0, yp)
+		wap := wa.Data[p] * factor
+		wbp := wb.Data[p] * factor
+		for i := 0; i < nbf; i++ {
+			yrow := yp.Row(i)
+			zrow := zp.Row(i)
+			darow := da.Row(i)
+			dbrow := db.Row(i)
+			for j := 0; j < nbf; j++ {
+				// Exchange coefficient −factor·(Da C̃_P Db)_μν, written in
+				// the symmetrised form −factor·½(Y_P + Y_Pᵀ).
+				zrow[j] += wbp*darow[j] + wap*dbrow[j] -
+					0.5*factor*(yrow[j]+yp.At(j, i))
+			}
+		}
+	}
+
+	// ζ: −½(w^a w^bᵀ + w^b w^aᵀ) + ½ G, G_PQ = tr(Da C̃_P Db C̃_Q).
+	gmat := linalg.NewMat(naux, naux)
+	tuner.Gemm(linalg.NoTrans, linalg.Trans, 1, y.Flatten(), ct.Flatten(), 0, gmat)
+	for p := 0; p < naux; p++ {
+		for q := 0; q < naux; q++ {
+			v := -0.5*(wa.Data[p]*wb.Data[q]+wb.Data[p]*wa.Data[q]) +
+				0.25*(gmat.At(p, q)+gmat.At(q, p))
+			zetaAcc.Add(p, q, factor*v)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package scf
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fragmd/fragmd/internal/basis"
+	"github.com/fragmd/fragmd/internal/linalg"
+	"github.com/fragmd/fragmd/internal/molecule"
+)
+
+func runRHF(t *testing.T, g *molecule.Geometry, bsName string, useRI bool) *Result {
+	t.Helper()
+	bs, err := basis.Build(bsName, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RHF(g, bs, Options{UseRI: useRI})
+	if err != nil {
+		t.Fatalf("RHF failed: %v", err)
+	}
+	return res
+}
+
+// He/STO-3G is a geometry-free external anchor: E = −2.807784 Ha.
+func TestHeliumAnchor(t *testing.T) {
+	g := molecule.New()
+	g.AddAtom(2, 0, 0, 0)
+	res := runRHF(t, g, "sto-3g", false)
+	if math.Abs(res.Energy-(-2.807784)) > 1e-5 {
+		t.Errorf("He/STO-3G E = %.6f, want −2.807784", res.Energy)
+	}
+}
+
+// H2 at R = 1.4 Bohr, STO-3G: E = −1.1167 Ha (Szabo & Ostlund §3.5.2:
+// E_elec = −1.8310, E_nuc = 1/1.4).
+func TestH2Anchor(t *testing.T) {
+	g := molecule.New()
+	g.AddAtom(1, 0, 0, 0)
+	g.AddAtom(1, 0, 0, 1.4)
+	res := runRHF(t, g, "sto-3g", false)
+	if math.Abs(res.Energy-(-1.1167)) > 1e-4 {
+		t.Errorf("H2/STO-3G E = %.6f, want −1.1167", res.Energy)
+	}
+	if res.NOcc != 1 {
+		t.Errorf("NOcc = %d, want 1", res.NOcc)
+	}
+}
+
+// Water/STO-3G at the experimental geometry: E ≈ −74.9630 Ha.
+func TestWaterAnchor(t *testing.T) {
+	res := runRHF(t, molecule.Water(), "sto-3g", false)
+	if math.Abs(res.Energy-(-74.963)) > 5e-3 {
+		t.Errorf("H2O/STO-3G E = %.5f, want ≈ −74.963", res.Energy)
+	}
+}
+
+// The RI energy must track the conventional energy closely, and improve
+// as the auxiliary basis grows.
+func TestRIMatchesConventional(t *testing.T) {
+	g := molecule.Water()
+	conv := runRHF(t, g, "sto-3g", false)
+	bs, _ := basis.Build("sto-3g", g)
+
+	small, err := RHF(g, bs, Options{UseRI: true, AuxOpts: basis.AuxOptions{PerL: []int{4, 3, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := RHF(g, bs, Options{UseRI: true, AuxOpts: basis.AuxOptions{PerL: []int{12, 9, 7}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errSmall := math.Abs(small.Energy - conv.Energy)
+	errLarge := math.Abs(large.Energy - conv.Energy)
+	if errLarge > 2e-3 {
+		t.Errorf("RI(large aux) error %.2e > 2e-3 Ha", errLarge)
+	}
+	if errLarge > errSmall+1e-6 {
+		t.Errorf("larger aux basis did not improve RI error: %.2e vs %.2e", errLarge, errSmall)
+	}
+}
+
+// Density matrix invariants: idempotency D S D = 2 D, trace = N electrons.
+func TestDensityInvariants(t *testing.T) {
+	g := molecule.Water()
+	res := runRHF(t, g, "sto-3g", true)
+	ds := linalg.MatMul(linalg.NoTrans, linalg.NoTrans, res.D, res.S)
+	tr := ds.Trace()
+	if math.Abs(tr-float64(g.NumElectrons())) > 1e-8 {
+		t.Errorf("tr(DS) = %.8f, want %d", tr, g.NumElectrons())
+	}
+	dsd := linalg.MatMul(linalg.NoTrans, linalg.NoTrans, ds, res.D)
+	for i := range dsd.Data {
+		if math.Abs(dsd.Data[i]-2*res.D.Data[i]) > 1e-7 {
+			t.Fatal("density not idempotent: DSD != 2D")
+		}
+	}
+}
+
+// Orbital energies must satisfy the aufbau gap and Koopmans sanity
+// (HOMO below zero for a stable closed-shell molecule).
+func TestOrbitalEnergies(t *testing.T) {
+	res := runRHF(t, molecule.Water(), "sto-3g", false)
+	homo := res.Eps[res.NOcc-1]
+	lumo := res.Eps[res.NOcc]
+	if homo >= lumo {
+		t.Errorf("HOMO %.4f >= LUMO %.4f", homo, lumo)
+	}
+	if homo > 0 {
+		t.Errorf("HOMO %.4f > 0 for water", homo)
+	}
+}
+
+// fdGradient computes the central-difference gradient of the total HF
+// energy for the given backend.
+func fdGradient(t *testing.T, g *molecule.Geometry, useRI bool, auxOpts basis.AuxOptions, h float64) []float64 {
+	t.Helper()
+	energy := func(gg *molecule.Geometry) float64 {
+		bs, err := basis.Build("sto-3g", gg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := RHF(gg, bs, Options{UseRI: useRI, AuxOpts: auxOpts, ConvE: 1e-12, ConvErr: 1e-10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Energy
+	}
+	grad := make([]float64, 3*g.N())
+	for i := range g.Atoms {
+		for d := 0; d < 3; d++ {
+			gp := g.Clone()
+			gp.Atoms[i].Pos[d] += h
+			gm := g.Clone()
+			gm.Atoms[i].Pos[d] -= h
+			grad[3*i+d] = (energy(gp) - energy(gm)) / (2 * h)
+		}
+	}
+	return grad
+}
+
+func TestConventionalGradientFD(t *testing.T) {
+	g := molecule.Water()
+	bs, _ := basis.Build("sto-3g", g)
+	res, err := RHF(g, bs, Options{ConvE: 1e-12, ConvErr: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Gradient()
+	want := fdGradient(t, g, false, basis.AuxOptions{}, 1e-4)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 5e-7 {
+			t.Errorf("conventional grad[%d]: analytic %.9f vs FD %.9f", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRIGradientFD(t *testing.T) {
+	g := molecule.Water()
+	auxOpts := basis.AuxOptions{PerL: []int{5, 4, 3}}
+	bs, _ := basis.Build("sto-3g", g)
+	res, err := RHF(g, bs, Options{UseRI: true, AuxOpts: auxOpts, ConvE: 1e-12, ConvErr: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Gradient()
+	// FD of the *same RI functional*: analytic and FD must agree to FD
+	// accuracy, independent of auxiliary basis quality.
+	want := fdGradient(t, g, true, auxOpts, 1e-4)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 5e-7 {
+			t.Errorf("RI grad[%d]: analytic %.9f vs FD %.9f", i, got[i], want[i])
+		}
+	}
+}
+
+// The gradient of a rigid system must sum to zero (no net force).
+func TestGradientTranslationalSumRule(t *testing.T) {
+	g := molecule.WaterDimer(3.0)
+	bs, _ := basis.Build("sto-3g", g)
+	res, err := RHF(g, bs, Options{UseRI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := res.Gradient()
+	for d := 0; d < 3; d++ {
+		var s float64
+		for i := 0; i < g.N(); i++ {
+			s += grad[3*i+d]
+		}
+		if math.Abs(s) > 1e-7 {
+			t.Errorf("net force along %d = %.2e, want 0", d, s)
+		}
+	}
+}
+
+func TestOddElectronRejected(t *testing.T) {
+	g := molecule.New()
+	g.AddAtom(1, 0, 0, 0)
+	bs, _ := basis.Build("sto-3g", g)
+	if _, err := RHF(g, bs, Options{}); err == nil {
+		t.Fatal("expected error for odd electron count")
+	}
+}
