@@ -16,6 +16,9 @@ import (
 
 func runExperiment(b *testing.B, fn func(*bench.Config)) {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("paper-experiment benchmarks are slow; run without -short")
+	}
 	cfg := &bench.Config{Quick: true, Out: io.Discard}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -32,6 +35,7 @@ func BenchmarkAutotuneAblation(b *testing.B)     { runExperiment(b, bench.Autotu
 func BenchmarkFig5Contributions(b *testing.B)    { runExperiment(b, bench.Fig5) }
 func BenchmarkFig6Conservation(b *testing.B)     { runExperiment(b, bench.Fig6) }
 func BenchmarkAsyncVsSync(b *testing.B)          { runExperiment(b, bench.AsyncAblation) }
+func BenchmarkWarmStartAblation(b *testing.B)    { runExperiment(b, bench.WarmStartAblation) }
 func BenchmarkFig7StrongScaling(b *testing.B)    { runExperiment(b, bench.Fig7) }
 func BenchmarkFig8WeakScaling(b *testing.B)      { runExperiment(b, bench.Fig8) }
 func BenchmarkTable5Records(b *testing.B)        { runExperiment(b, bench.Table5) }

@@ -1,12 +1,23 @@
 // Command fragmd runs MBE3/RI-MP2 calculations on an XYZ geometry:
-// single-point energies, analytic gradients, or NVE AIMD with the
-// asynchronous time-step engine.
+// single-point energies, analytic gradients, NVE AIMD with the
+// asynchronous time-step engine, or a cold-vs-warm-start dynamics
+// benchmark.
 //
 // Usage:
 //
-//	fragmd -in system.xyz [-mode energy|grad|md] [-basis sto-3g|dzp]
+//	fragmd -in system.xyz [-mode energy|grad|md|bench] [-basis sto-3g|dzp]
 //	       [-atoms-per-monomer N] [-dimer-cut Å] [-trimer-cut Å]
 //	       [-steps N] [-dt fs] [-temp K] [-sync] [-workers N]
+//	       [-warm] [-skip-tol Å] [-max-skip N]
+//
+// Warm-start knobs (-warm, -skip-tol, -max-skip) enable incremental
+// evaluation across MD steps: -warm reuses each polymer's converged
+// density as the next SCF guess (exact; fewer iterations), while
+// -skip-tol > 0 additionally skips re-evaluating polymers whose atoms
+// all moved less than the tolerance since their last real evaluation
+// (approximate; -max-skip bounds the staleness). -mode bench runs the
+// same trajectory cold and warm and reports SCF-iterations-per-step
+// and wall-per-step for both.
 //
 // The geometry is fragmented into monomers of equal atom count (for
 // molecular clusters built molecule-by-molecule); covalent systems use
@@ -14,12 +25,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"os"
 
+	"github.com/fragmd/fragmd/internal/bench"
 	"github.com/fragmd/fragmd/internal/chem"
 	"github.com/fragmd/fragmd/internal/fragment"
 	"github.com/fragmd/fragmd/internal/linalg"
@@ -29,35 +43,65 @@ import (
 	"github.com/fragmd/fragmd/internal/sched"
 )
 
+// errUsage marks command-line usage errors whose diagnostics have
+// already been printed (exit 2, matching the pre-FlagSet behaviour).
+var errUsage = errors.New("fragmd: usage error")
+
 func main() {
-	in := flag.String("in", "", "input XYZ file (required)")
-	mode := flag.String("mode", "energy", "energy | grad | md")
-	basisName := flag.String("basis", "sto-3g", "orbital basis: sto-3g | dzp")
-	apm := flag.Int("atoms-per-monomer", 3, "atoms per monomer for fragmentation")
-	dimerCut := flag.Float64("dimer-cut", 0, "dimer centroid cutoff in Å (0 = none)")
-	trimerCut := flag.Float64("trimer-cut", 0, "trimer centroid cutoff in Å (0 = none)")
-	steps := flag.Int("steps", 10, "MD steps")
-	dt := flag.Float64("dt", 0.5, "MD time step in fs")
-	temp := flag.Float64("temp", 150, "initial temperature in K")
-	sync := flag.Bool("sync", false, "use synchronous time steps")
-	workers := flag.Int("workers", 2, "worker goroutines")
-	scs := flag.Bool("scs", false, "report SCS-MP2 energies")
-	flag.Parse()
+	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
+	case err == nil:
+	case errors.Is(err, flag.ErrHelp):
+		// -h/-help: usage already printed, exit 0.
+	case errors.Is(err, errUsage):
+		os.Exit(2)
+	default:
+		log.Fatal(err)
+	}
+}
+
+// run is the testable entry point: it parses argv, writes reports to
+// out and diagnostics to errOut.
+func run(argv []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("fragmd", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	in := fs.String("in", "", "input XYZ file (required)")
+	mode := fs.String("mode", "energy", "energy | grad | md | bench")
+	basisName := fs.String("basis", "sto-3g", "orbital basis: sto-3g | dzp")
+	apm := fs.Int("atoms-per-monomer", 3, "atoms per monomer for fragmentation")
+	dimerCut := fs.Float64("dimer-cut", 0, "dimer centroid cutoff in Å (0 = none)")
+	trimerCut := fs.Float64("trimer-cut", 0, "trimer centroid cutoff in Å (0 = none)")
+	steps := fs.Int("steps", 10, "MD steps")
+	dt := fs.Float64("dt", 0.5, "MD time step in fs")
+	temp := fs.Float64("temp", 150, "initial temperature in K")
+	sync := fs.Bool("sync", false, "use synchronous time steps")
+	workers := fs.Int("workers", 2, "worker goroutines")
+	scs := fs.Bool("scs", false, "report SCS-MP2 energies")
+	warm := fs.Bool("warm", false, "warm-start each polymer's SCF from its previous converged density")
+	skipTol := fs.Float64("skip-tol", 0, "skip re-evaluating polymers that moved less than this (Å, 0 = off; approximate)")
+	maxSkip := fs.Int("max-skip", 0, "staleness bound: max consecutive skipped evaluations per polymer (0 = default)")
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		// fs already printed the diagnostic and usage.
+		return errUsage
+	}
 
 	if *in == "" {
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(errOut, "fragmd: -in is required")
+		fs.Usage()
+		return errUsage
 	}
 	file, err := os.Open(*in)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	g, err := molecule.ParseXYZ(file)
 	file.Close()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("system: %d atoms, %d electrons\n", g.N(), g.NumElectrons())
+	fmt.Fprintf(out, "system: %d atoms, %d electrons\n", g.N(), g.NumElectrons())
 
 	opts := fragment.Options{}
 	if *dimerCut > 0 {
@@ -68,48 +112,94 @@ func main() {
 	}
 	f, err := fragment.ByMolecule(g, *apm, 1, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	terms := f.Terms()
-	fmt.Printf("fragmentation: %d monomers, %d dimers, %d trimers\n",
+	fmt.Fprintf(out, "fragmentation: %d monomers, %d dimers, %d trimers\n",
 		len(terms.Monomers), len(terms.Dimers), len(terms.Trimers))
 
 	eval := &potential.RIMP2{Basis: *basisName, SCS: *scs}
+	engOpts := sched.Options{
+		Workers: *workers, Async: !*sync, Dt: *dt * chem.AtomicTimePerFs,
+		WarmStart: *warm, SkipTol: *skipTol * chem.BohrPerAngstrom, MaxSkip: *maxSkip,
+	}
 	linalg.ResetFLOPs()
 
 	switch *mode {
 	case "energy", "grad":
 		res, err := f.Compute(eval)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("MBE3/RI-MP2 energy: %.10f Ha\n", res.Energy)
+		fmt.Fprintf(out, "MBE3/RI-MP2 energy: %.10f Ha\n", res.Energy)
 		if *mode == "grad" {
-			fmt.Println("gradient (Ha/Bohr):")
+			fmt.Fprintln(out, "gradient (Ha/Bohr):")
 			for i := 0; i < g.N(); i++ {
-				fmt.Printf("  %-3s % .8f % .8f % .8f\n", chem.Symbol(g.Atoms[i].Z),
+				fmt.Fprintf(out, "  %-3s % .8f % .8f % .8f\n", chem.Symbol(g.Atoms[i].Z),
 					res.Gradient[3*i], res.Gradient[3*i+1], res.Gradient[3*i+2])
 			}
 		}
 	case "md":
-		eng, err := sched.New(f, eval, sched.Options{
-			Workers: *workers, Async: !*sync, Dt: *dt * chem.AtomicTimePerFs,
-		})
+		eng, err := sched.New(f, eval, engOpts)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		state := md.NewState(g)
 		state.SampleVelocities(*temp, rand.New(rand.NewSource(1)))
-		fmt.Printf("%6s %18s %14s %10s\n", "step", "Etot (Ha)", "Epot (Ha)", "T (K)")
+		fmt.Fprintf(out, "%6s %18s %14s %10s %9s %8s\n", "step", "Etot (Ha)", "Epot (Ha)", "T (K)", "SCF-iter", "skipped")
 		_, err = eng.Run(state, *steps, func(st sched.StepStats) {
 			tK := 2 * st.Ekin / (3 * float64(g.N())) * chem.KelvinPerHartree
-			fmt.Printf("%6d %18.8f %14.8f %10.1f\n", st.Step, st.Etot, st.Epot, tK)
+			fmt.Fprintf(out, "%6d %18.8f %14.8f %10.1f %9d %8d\n",
+				st.Step, st.Etot, st.Epot, tK, st.SCFIters, st.Skipped)
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
+		}
+	case "bench":
+		if err := runWarmBench(out, f, eval, engOpts, *steps, *temp); err != nil {
+			return err
 		}
 	default:
-		log.Fatalf("unknown mode %q", *mode)
+		return fmt.Errorf("unknown mode %q", *mode)
 	}
-	fmt.Printf("GEMM FLOPs executed: %.3e\n", float64(linalg.FLOPs()))
+	fmt.Fprintf(out, "GEMM FLOPs executed: %.3e\n", float64(linalg.FLOPs()))
+	return nil
+}
+
+// runWarmBench integrates the same trajectory twice — cold and with
+// warm-started SCF (plus skip reuse when configured) — and reports
+// SCF-iterations-per-step and wall-per-step for both, so the speedup
+// of the incremental-evaluation subsystem is measured, not asserted.
+func runWarmBench(out io.Writer, f *fragment.Fragmentation, eval fragment.Evaluator, engOpts sched.Options, steps int, temp float64) error {
+	// The engine reads the fragmentation read-only (positions advance
+	// inside the state's cloned geometry), so both runs can share f and
+	// start from identical initial conditions.
+	one := func(opts sched.Options, n int) ([]sched.StepStats, error) {
+		eng, err := sched.New(f, eval, opts)
+		if err != nil {
+			return nil, err
+		}
+		state := md.NewState(f.Geom.Clone())
+		state.SampleVelocities(temp, rand.New(rand.NewSource(1)))
+		return eng.Run(state, n, nil)
+	}
+	coldOpts := engOpts
+	coldOpts.WarmStart, coldOpts.SkipTol, coldOpts.Cache = false, 0, nil
+	// Untimed throwaway step so the global GEMM auto-tuner's variant
+	// trials don't bias whichever timed run goes first.
+	if _, err := one(coldOpts, 1); err != nil {
+		return err
+	}
+	cold, err := one(coldOpts, steps)
+	if err != nil {
+		return err
+	}
+	warmOpts := engOpts
+	warmOpts.WarmStart = true
+	warmRun, err := one(warmOpts, steps)
+	if err != nil {
+		return err
+	}
+	bench.CompareDynamics(out, cold, warmRun)
+	return nil
 }

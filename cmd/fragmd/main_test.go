@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/fragmd/fragmd/internal/chem"
+	"github.com/fragmd/fragmd/internal/molecule"
+)
+
+// writeWaterDimerXYZ writes a 2-monomer water dimer in XYZ (Å) and
+// returns its path.
+func writeWaterDimerXYZ(t *testing.T) string {
+	t.Helper()
+	g := molecule.WaterCluster(2)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d\nwater dimer (test)\n", g.N())
+	for _, a := range g.Atoms {
+		fmt.Fprintf(&b, "%s %.8f %.8f %.8f\n", chem.Symbol(a.Z),
+			a.Pos[0]*chem.AngstromPerBohr, a.Pos[1]*chem.AngstromPerBohr, a.Pos[2]*chem.AngstromPerBohr)
+	}
+	path := filepath.Join(t.TempDir(), "dimer.xyz")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// parseEnergy extracts the reported MBE energy from the output.
+func parseEnergy(t *testing.T, out string) float64 {
+	t.Helper()
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "MBE3/RI-MP2 energy:") {
+			f := strings.Fields(l)
+			v, err := strconv.ParseFloat(f[len(f)-2], 64)
+			if err != nil {
+				t.Fatalf("cannot parse energy from %q: %v", l, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no energy line in output:\n%s", out)
+	return 0
+}
+
+// Smoke: the energy mode on a 2-monomer water dimer must report a
+// finite, chemically sensible energy and a non-empty report.
+func TestRunEnergyMode(t *testing.T) {
+	xyz := writeWaterDimerXYZ(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", xyz, "-mode", "energy"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"system: 6 atoms", "fragmentation: 2 monomers, 1 dimers", "GEMM FLOPs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	e := parseEnergy(t, s)
+	if math.IsNaN(e) || math.IsInf(e, 0) {
+		t.Fatalf("non-finite energy %v", e)
+	}
+	// Two waters at MP2/STO-3G ≈ −150 Ha; anything near that is sane.
+	if e > -140 || e < -160 {
+		t.Errorf("implausible water-dimer energy %.6f Ha", e)
+	}
+}
+
+// Smoke: the cold-vs-warm bench mode must run a short trajectory and
+// print the comparison table with totals.
+func TestRunBenchMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RI-MP2 dynamics bench is slow; run without -short")
+	}
+	xyz := writeWaterDimerXYZ(t)
+	var out bytes.Buffer
+	err := run([]string{"-in", xyz, "-mode", "bench", "-steps", "3", "-dimer-cut", "0.1"}, &out, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"cold SCF-iter", "warm SCF-iter", "totals", "SCF iterations saved"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("bench output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// Flag validation: a missing -in must error out as a usage error,
+// unknown modes as ordinary errors, and -h as flag.ErrHelp (mapped to
+// exit 0 by main).
+func TestRunValidation(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-mode", "energy"}, &out, &errOut); !errors.Is(err, errUsage) {
+		t.Errorf("missing -in: got %v, want errUsage", err)
+	}
+	if !strings.Contains(errOut.String(), "-in is required") {
+		t.Errorf("missing -in diagnostic not on stderr writer:\n%s", errOut.String())
+	}
+	if err := run([]string{"-h"}, &out, io.Discard); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h: got %v, want flag.ErrHelp", err)
+	}
+	errOut.Reset()
+	if err := run([]string{"-no-such-flag"}, &out, &errOut); !errors.Is(err, errUsage) {
+		t.Errorf("unknown flag: got %v, want errUsage", err)
+	}
+	if !strings.Contains(errOut.String(), "-no-such-flag") {
+		t.Errorf("unknown-flag diagnostic not on stderr writer:\n%s", errOut.String())
+	}
+	xyz := writeWaterDimerXYZ(t)
+	err := run([]string{"-in", xyz, "-mode", "nope"}, &out, io.Discard)
+	if err == nil || errors.Is(err, errUsage) {
+		t.Errorf("unknown mode: got %v, want a plain error", err)
+	}
+}

@@ -6,7 +6,7 @@
 //	mbebench -list
 //
 // Experiments: table1 fig1 table2 table3 fig3 table4 autotune fig5 fig6
-// async fig7 fig8 table5 all
+// async warmstart fig7 fig8 table5 all
 //
 // By default workloads are shrunk to development-box scale; -full runs
 // the paper-size configurations (the exascale experiments remain
@@ -14,8 +14,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -36,35 +38,47 @@ var experiments = []struct {
 	{"fig5", bench.Fig5, "dimer/trimer contribution decay and cutoffs"},
 	{"fig6", bench.Fig6, "NVE energy conservation with async time steps"},
 	{"async", bench.AsyncAblation, "async vs sync time-step latency (§VII-A)"},
+	{"warmstart", bench.WarmStartAblation, "cold vs warm-start SCF iterations and wall per AIMD step"},
 	{"fig7", bench.Fig7, "strong scaling on Perlmutter/Frontier models"},
 	{"fig8", bench.Fig8, "weak scaling at 4 polymers/GCD"},
 	{"table5", bench.Table5, "record runs: million-electron urea, 2BEG latency"},
 }
 
-func main() {
-	full := flag.Bool("full", false, "run paper-size configurations")
-	list := flag.Bool("list", false, "list experiments")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the testable entry point: it parses argv, executes the named
+// experiments against stdout, and returns a process exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mbebench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	full := fs.Bool("full", false, "run paper-size configurations")
+	list := fs.Bool("list", false, "list experiments")
+	if err := fs.Parse(argv); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, e := range experiments {
-			fmt.Printf("  %-10s %s\n", e.name, e.desc)
+			fmt.Fprintf(stdout, "  %-10s %s\n", e.name, e.desc)
 		}
-		return
+		return 0
 	}
-	args := flag.Args()
+	args := fs.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: mbebench [-full] <experiment>|all ... (-list to enumerate)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: mbebench [-full] <experiment>|all ... (-list to enumerate)")
+		return 2
 	}
-	cfg := &bench.Config{Quick: !*full, Out: os.Stdout}
-	run := func(name string) bool {
+	cfg := &bench.Config{Quick: !*full, Out: stdout}
+	runOne := func(name string) bool {
 		for _, e := range experiments {
 			if e.name == name || (name == "table2" && e.name == "fig1") {
 				start := time.Now()
-				fmt.Printf("==== %s ====\n", e.name)
+				fmt.Fprintf(stdout, "==== %s ====\n", e.name)
 				e.fn(cfg)
-				fmt.Printf("---- %s done in %.1fs ----\n\n", e.name, time.Since(start).Seconds())
+				fmt.Fprintf(stdout, "---- %s done in %.1fs ----\n\n", e.name, time.Since(start).Seconds())
 				return true
 			}
 		}
@@ -73,13 +87,14 @@ func main() {
 	for _, name := range args {
 		if name == "all" {
 			for _, e := range experiments {
-				run(e.name)
+				runOne(e.name)
 			}
 			continue
 		}
-		if !run(name) {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (-list to enumerate)\n", name)
-			os.Exit(2)
+		if !runOne(name) {
+			fmt.Fprintf(stderr, "unknown experiment %q (-list to enumerate)\n", name)
+			return 2
 		}
 	}
+	return 0
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// -list must enumerate every registered experiment, including the
+// warm-start ablation, and exit 0.
+func TestRunList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	for _, e := range experiments {
+		if !strings.Contains(s, e.name) {
+			t.Errorf("-list missing experiment %q", e.name)
+		}
+	}
+	if !strings.Contains(s, "warmstart") {
+		t.Error("-list missing the warmstart experiment")
+	}
+}
+
+// Smoke: a cheap experiment must produce a non-empty framed report.
+func TestRunTable1(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"table1"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	s := out.String()
+	for _, want := range []string{"==== table1 ====", "Table I", "done in"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// The table2 alias must resolve to the fig1 experiment.
+func TestRunTable2Alias(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"table2"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(out.String(), "Table II") {
+		t.Error("table2 alias did not run the Fig. 1 / Table II experiment")
+	}
+}
+
+// Bad usage paths: no args and unknown experiments exit 2; -h exits 0.
+func TestRunUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no-args exit code %d, want 2", code)
+	}
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Errorf("-h exit code %d, want 0", code)
+	}
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown-flag exit code %d, want 2", code)
+	}
+	errOut.Reset()
+	if code := run([]string{"nonsense"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown-experiment exit code %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown experiment") {
+		t.Error("missing unknown-experiment diagnostic")
+	}
+}

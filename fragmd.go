@@ -16,6 +16,30 @@
 //	frag, _ := fragmd.FragmentByMolecule(sys, 3, 1, fragmd.FragmentOptions{})
 //	res, _ := frag.Compute(fragmd.NewRIMP2Potential("sto-3g", false))
 //	fmt.Println(res.Energy)
+//
+// # Warm-start / incremental AIMD
+//
+// Successive AIMD time steps move each fragment only slightly, so the
+// engine can reuse per-polymer electronic state across steps
+// (EngineOptions, package warmstart). Two knobs with distinct accuracy
+// semantics:
+//
+//   - WarmStart (exact): each polymer's converged density seeds the
+//     next SCF of the same polymer. Converged energies and forces are
+//     unchanged to within the SCF thresholds — only iteration counts
+//     and wall time drop. StepStats.SCFIters measures the effect.
+//
+//   - SkipTol + MaxSkip (approximate): a polymer whose atoms have all
+//     moved less than SkipTol (Bohr) since its last real evaluation
+//     reuses its cached energy and gradient outright; displacement is
+//     measured against the last evaluated geometry, so drift
+//     accumulates toward the tolerance rather than resetting each
+//     step, and MaxSkip bounds consecutive reuses (the staleness
+//     bound). Errors are O(SkipTol) in the forces — choose SkipTol
+//     well below the per-step displacement scale you care about.
+//
+// See NewWarmStartCache to carry state across engines or into the
+// serial ComputeWithCache path.
 package fragmd
 
 import (
@@ -30,6 +54,7 @@ import (
 	"github.com/fragmd/fragmd/internal/molecule"
 	"github.com/fragmd/fragmd/internal/potential"
 	"github.com/fragmd/fragmd/internal/sched"
+	"github.com/fragmd/fragmd/internal/warmstart"
 )
 
 // Geometry is a molecular geometry (positions in Bohr; XYZ I/O in Å).
@@ -66,9 +91,27 @@ type (
 	FragmentOptions = fragment.Options
 	// Evaluator computes a fragment's energy and gradient.
 	Evaluator = fragment.Evaluator
+	// StatefulEvaluator additionally reuses converged electronic state
+	// across evaluations (warm starting); the built-in potentials all
+	// implement it.
+	StatefulEvaluator = fragment.StatefulEvaluator
 	// MBEResult is an assembled energy/gradient with ΔE bookkeeping.
 	MBEResult = fragment.Result
+	// WarmStartCache holds per-polymer electronic states across AIMD
+	// steps (see the package comment's warm-start section).
+	WarmStartCache = warmstart.Cache
+	// WarmStartState is one polymer's reusable converged state.
+	WarmStartState = warmstart.State
 )
+
+// NewWarmStartCache creates a warm-start cache for incremental MBE
+// evaluation: skipTol is the max-atom-displacement skip tolerance in
+// Bohr (0 disables skip reuse), maxSkip the staleness bound on
+// consecutive reuses (0 selects the default). Pass it via
+// EngineOptions.Cache or Fragmentation.ComputeWithCache.
+func NewWarmStartCache(skipTol float64, maxSkip int) *WarmStartCache {
+	return warmstart.NewCache(skipTol, maxSkip)
+}
 
 // NewFragmentation fragments with an explicit monomer partition
 // (atom-index lists); covalent boundaries are hydrogen-capped.

@@ -11,6 +11,9 @@ import (
 // compute the MBE3/RI-MP2 energy and compare with the supersystem
 // (an exact identity for three monomers).
 func TestPublicAPIEnergy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RI-MP2 supersystem comparison is slow; run without -short")
+	}
 	sys := fragmd.WaterCluster(3)
 	frag, err := fragmd.FragmentByMolecule(sys, 3, 1, fragmd.FragmentOptions{})
 	if err != nil {

@@ -1,0 +1,3 @@
+module github.com/fragmd/fragmd
+
+go 1.22

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"github.com/fragmd/fragmd/internal/basis"
+	"github.com/fragmd/fragmd/internal/chem"
+	"github.com/fragmd/fragmd/internal/fragment"
+	"github.com/fragmd/fragmd/internal/md"
+	"github.com/fragmd/fragmd/internal/molecule"
+	"github.com/fragmd/fragmd/internal/potential"
+	"github.com/fragmd/fragmd/internal/sched"
+	"github.com/fragmd/fragmd/internal/warmstart"
+)
+
+// CompareDynamics writes the cold-vs-warm per-step comparison table
+// (SCF iterations, wall clock, skips, and energy deviation per step,
+// plus totals and percent saved) for two trajectories of equal length.
+// It is shared by the mbebench warmstart experiment and fragmd's
+// -mode bench, and returns the total cold and warm SCF iteration
+// counts for further reporting.
+func CompareDynamics(w io.Writer, cold, warm []sched.StepStats) (coldIters, warmIters int) {
+	fmt.Fprintf(w, "%6s %14s %14s %12s %12s %9s %14s\n",
+		"step", "cold SCF-iter", "warm SCF-iter", "cold wall", "warm wall", "skipped", "|ΔEpot| (Ha)")
+	var coldWall, warmWall float64
+	var skipped int
+	for i := range cold {
+		coldIters += cold[i].SCFIters
+		warmIters += warm[i].SCFIters
+		skipped += warm[i].Skipped
+		coldWall += cold[i].Wall.Seconds()
+		warmWall += warm[i].Wall.Seconds()
+		fmt.Fprintf(w, "%6d %14d %14d %11.3fs %11.3fs %9d %14.2e\n",
+			cold[i].Step, cold[i].SCFIters, warm[i].SCFIters,
+			cold[i].Wall.Seconds(), warm[i].Wall.Seconds(), warm[i].Skipped,
+			math.Abs(cold[i].Epot-warm[i].Epot))
+	}
+	fmt.Fprintf(w, "totals %14d %14d %11.3fs %11.3fs %9d\n",
+		coldIters, warmIters, coldWall, warmWall, skipped)
+	if coldIters > 0 {
+		fmt.Fprintf(w, "  SCF iterations saved: %.0f%%   wall saved: %.0f%%\n",
+			100*(1-float64(warmIters)/float64(coldIters)),
+			100*(1-warmWall/math.Max(coldWall, 1e-12)))
+	}
+	return coldIters, warmIters
+}
+
+// warmDynamics runs one short AIMD trajectory and returns its per-step
+// stats. The same geometry, seed and engine options are used for every
+// invocation so cold/warm/skip runs differ only in the reuse policy.
+func warmDynamics(g *molecule.Geometry, eval fragment.Evaluator, steps int, opts sched.Options) ([]sched.StepStats, error) {
+	f, err := fragment.ByMolecule(g.Clone(), 3, 1, fragment.Options{})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := sched.New(f, eval, opts)
+	if err != nil {
+		return nil, err
+	}
+	state := md.NewState(f.Geom.Clone())
+	state.SampleVelocities(120, rand.New(rand.NewSource(17)))
+	return eng.Run(state, steps, nil)
+}
+
+// WarmStartAblation measures the incremental-evaluation subsystem: the
+// same NVE water-cluster trajectory is integrated cold (core-guess SCF
+// every polymer, every step) and warm (each polymer's previous
+// converged density seeds its next SCF), reporting SCF iterations per
+// step and wall-clock per step for both — the speedup is measured, not
+// asserted. A third run with a skip tolerance shows the approximate
+// reuse path (evaluations avoided outright, bounded staleness).
+func WarmStartAblation(c *Config) {
+	waters, steps := 2, 5
+	var eval fragment.Evaluator = &potential.HF{UseRI: true, AuxOpts: basis.AuxOptions{PerL: []int{5, 4, 3}}}
+	label := "RI-HF/sto-3g"
+	if !c.Quick {
+		waters, steps = 3, 8
+		eval = &potential.RIMP2{Basis: "sto-3g", AuxOpts: glyAuxOpts}
+		label = "RI-MP2/sto-3g"
+	}
+	g := molecule.WaterCluster(waters)
+	base := sched.Options{Workers: 2, Async: true, Dt: 0.5 * chem.AtomicTimePerFs}
+
+	// Untimed throwaway step: the process-global GEMM auto-tuner trials
+	// variants on first sight of each matrix shape, so whichever timed
+	// run goes first would otherwise pay the tuning overhead and bias
+	// the cold-vs-warm wall comparison.
+	if _, err := warmDynamics(g, eval, 1, base); err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+
+	cold, err := warmDynamics(g, eval, steps, base)
+	if err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	warmOpts := base
+	warmOpts.WarmStart = true
+	warm, err := warmDynamics(g, eval, steps, warmOpts)
+	if err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+
+	c.printf("Warm-start ablation — (H2O)%d NVE, %s, dt=0.5 fs, %d polymers/step\n",
+		waters, label, cold[0].NPolymer)
+	coldIters, _ := CompareDynamics(c.Out, cold, warm)
+
+	skipOpts := base
+	skipOpts.WarmStart = true
+	skipOpts.SkipTol = 0.02 // Bohr; generous for a demo of the skip path
+	skip, err := warmDynamics(g, eval, steps, skipOpts)
+	if err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	var skipped, skipIters int
+	var skipDev float64
+	for i := range skip {
+		skipped += skip[i].Skipped
+		skipIters += skip[i].SCFIters
+		if d := math.Abs(skip[i].Epot - cold[i].Epot); d > skipDev {
+			skipDev = d
+		}
+	}
+	c.printf("\nSkip reuse (tol %.3f Bohr, staleness bound %d): %d/%d evaluations skipped,\n",
+		skipOpts.SkipTol, warmstart.DefaultMaxSkip, skipped, len(skip)*skip[0].NPolymer)
+	c.printf("%d SCF iterations (vs %d cold), max |Epot − cold| = %.2e Ha (approximate path).\n",
+		skipIters, coldIters, skipDev)
+	c.printf("\nShape to verify: warm SCF-iterations strictly below cold every step after the\n")
+	c.printf("first, with |ΔEpot| at SCF-convergence level (~1e-10 Ha) — reuse is exact.\n")
+}

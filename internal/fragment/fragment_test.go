@@ -21,6 +21,9 @@ func waterTrimerFrag(t *testing.T, opts Options) *Fragmentation {
 // For a three-monomer system the MBE3 expansion is an exact identity:
 // E_MBE3 == E_supersystem and likewise for every gradient component.
 func TestMBE3ExactForThreeMonomers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RI-MP2 supersystem comparison is slow; run without -short")
+	}
 	f := waterTrimerFrag(t, Options{})
 	eval := &potential.RIMP2{Basis: "sto-3g"}
 	res, err := f.Compute(eval)
@@ -44,6 +47,9 @@ func TestMBE3ExactForThreeMonomers(t *testing.T) {
 // MBE2 must be less accurate than MBE3 but still close; the three-body
 // correction must be nonzero.
 func TestMBEOrderHierarchy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RI-MP2 MBE2-vs-MBE3 comparison is slow; run without -short")
+	}
 	eval := &potential.RIMP2{Basis: "sto-3g"}
 	f3 := waterTrimerFrag(t, Options{})
 	res3, err := f3.Compute(eval)

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/fragmd/fragmd/internal/molecule"
+	"github.com/fragmd/fragmd/internal/warmstart"
 )
 
 // Evaluator computes the total energy and nuclear gradient of a
@@ -12,6 +13,62 @@ import (
 // potential (RI-MP2, RI-HF, and fast surrogate potentials).
 type Evaluator interface {
 	Evaluate(g *molecule.Geometry) (energy float64, grad []float64, err error)
+}
+
+// StatefulEvaluator is an Evaluator that can additionally start from —
+// and hand back — a reusable electronic state, the incremental-
+// evaluation hook for AIMD: prev (which may be nil for a cold start) is
+// injected as the SCF initial guess, and the returned state snapshots
+// the new converged result for the next step. Evaluate(g) must be
+// numerically equivalent to EvaluateFrom(g, nil). Evaluators with no
+// electronic state (the LJ surrogate) pass through and return a
+// minimal state carrying only energy/gradient/geometry, which still
+// supports skip reuse.
+type StatefulEvaluator interface {
+	Evaluator
+	EvaluateFrom(g *molecule.Geometry, prev *warmstart.State) (energy float64, grad []float64, next *warmstart.State, err error)
+}
+
+// EvaluateWithCache runs one polymer evaluation through the cache:
+// skip reuse when the geometry has barely moved, warm-started stateful
+// evaluation when available, plain evaluation otherwise. It returns
+// the energy, gradient, SCF iteration count, and whether the
+// evaluation was skipped. It is shared by the serial Compute path and
+// the asynchronous scheduler (which calls it from concurrent workers —
+// the cache synchronises internally, and a given polymer key is never
+// evaluated concurrently with itself under either driver).
+func EvaluateWithCache(eval Evaluator, cache *warmstart.Cache, key string, g *molecule.Geometry) (float64, []float64, int, bool, error) {
+	if cache != nil {
+		if st, ok := cache.Reuse(key, g); ok {
+			return st.Energy, st.Grad, 0, true, nil
+		}
+	}
+	if se, ok := eval.(StatefulEvaluator); ok {
+		var prev *warmstart.State
+		if cache != nil {
+			prev = cache.Guess(key, g)
+		}
+		e, grad, st, err := se.EvaluateFrom(g, prev)
+		if err != nil {
+			return 0, nil, 0, false, err
+		}
+		iters := 0
+		if st != nil {
+			iters = st.SCFIters
+			if cache != nil {
+				cache.Put(key, st)
+			}
+		}
+		return e, grad, iters, false, nil
+	}
+	e, grad, err := eval.Evaluate(g)
+	if err != nil {
+		return 0, nil, 0, false, err
+	}
+	if cache != nil {
+		cache.Put(key, warmstart.NewState(g, e, grad))
+	}
+	return e, grad, 0, false, nil
 }
 
 // Terms classifies the polymers of the truncated expansion.
@@ -133,6 +190,12 @@ type Result struct {
 	PolymerE   map[string]float64 // raw fragment energies
 	DeltaDimer map[string]float64 // ΔE_IJ for dimers within cutoff
 	DeltaTri   map[string]float64 // ΔE_IJK
+
+	// SCFIters totals the SCF iterations across polymer evaluations
+	// (0 when the evaluator is stateless); Skipped counts polymers
+	// whose cached energy/gradient were reused without re-evaluation.
+	SCFIters int
+	Skipped  int
 }
 
 // Compute evaluates every required polymer with eval and assembles the
@@ -140,6 +203,17 @@ type Result struct {
 // sched provides the asynchronous distributed engine with identical
 // numerics.
 func (f *Fragmentation) Compute(eval Evaluator) (*Result, error) {
+	return f.ComputeWithCache(eval, nil)
+}
+
+// ComputeWithCache is Compute with incremental evaluation through a
+// warm-start cache: stateful evaluators receive each polymer's cached
+// state as their SCF initial guess, and polymers under the cache's
+// skip tolerance reuse their cached energy/gradient without
+// re-evaluation. A nil cache reproduces Compute exactly. The cache is
+// keyed by polymer identity and may be carried across successive
+// calls on (slightly) updated geometries — the AIMD usage.
+func (f *Fragmentation) ComputeWithCache(eval Evaluator, cache *warmstart.Cache) (*Result, error) {
 	terms := f.Terms()
 	coeff := terms.Coefficients()
 	all := terms.All()
@@ -159,9 +233,13 @@ func (f *Fragmentation) Compute(eval Evaluator) (*Result, error) {
 			return nil, fmt.Errorf("fragment: polymer %s enumerated twice", key)
 		}
 		ex := f.Extract(p)
-		e, g, err := eval.Evaluate(ex.Geom)
+		e, g, iters, skipped, err := EvaluateWithCache(eval, cache, key, ex.Geom)
 		if err != nil {
 			return nil, fmt.Errorf("fragment: polymer %s: %w", key, err)
+		}
+		res.SCFIters += iters
+		if skipped {
+			res.Skipped++
 		}
 		res.PolymerE[key] = e
 		grads[key] = g

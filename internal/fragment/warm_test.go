@@ -1,0 +1,168 @@
+package fragment
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fragmd/fragmd/internal/molecule"
+	"github.com/fragmd/fragmd/internal/potential"
+	"github.com/fragmd/fragmd/internal/warmstart"
+)
+
+// ComputeWithCache(eval, nil) must reproduce Compute (the assembly
+// iterates a map, so summation order — and hence the last bits — can
+// differ between runs; compare at accumulation-noise level).
+func TestComputeWithNilCacheIsCompute(t *testing.T) {
+	g := molecule.WaterCluster(4)
+	f, err := ByMolecule(g, 3, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := &potential.LennardJones{}
+	a, err := f.Compute(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.ComputeWithCache(eval, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Energy-b.Energy) > 1e-14 || a.Skipped != 0 || b.Skipped != 0 {
+		t.Errorf("nil-cache compute differs: %.17f vs %.17f", a.Energy, b.Energy)
+	}
+	for i := range a.Gradient {
+		if math.Abs(a.Gradient[i]-b.Gradient[i]) > 1e-14 {
+			t.Fatal("gradients differ beyond accumulation noise")
+		}
+	}
+}
+
+// Repeated ComputeWithCache on an unchanged geometry must skip every
+// polymer (within the staleness bound) and reproduce the energy and
+// gradient exactly; once the bound is exhausted everything is
+// re-evaluated and the counters reset.
+func TestComputeWithCacheSkipCycle(t *testing.T) {
+	g := molecule.WaterCluster(3)
+	f, err := ByMolecule(g, 3, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := &potential.LennardJones{}
+	cache := warmstart.NewCache(0.01, 2)
+
+	first, err := f.ComputeWithCache(eval, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Skipped != 0 {
+		t.Fatalf("first pass skipped %d polymers", first.Skipped)
+	}
+	if cache.Len() != first.NPolymers {
+		t.Fatalf("cache holds %d states, want %d", cache.Len(), first.NPolymers)
+	}
+	for pass := 0; pass < 2; pass++ {
+		res, err := f.ComputeWithCache(eval, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Skipped != first.NPolymers {
+			t.Fatalf("pass %d skipped %d of %d", pass, res.Skipped, first.NPolymers)
+		}
+		if math.Abs(res.Energy-first.Energy) > 1e-14 {
+			t.Errorf("skip-reuse energy %.17f != %.17f", res.Energy, first.Energy)
+		}
+		for i := range first.Gradient {
+			if math.Abs(res.Gradient[i]-first.Gradient[i]) > 1e-14 {
+				t.Fatal("skip-reuse gradient differs beyond accumulation noise")
+			}
+		}
+	}
+	// Staleness bound (2) exhausted: full re-evaluation, counter reset.
+	res, err := f.ComputeWithCache(eval, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != 0 {
+		t.Errorf("stale pass skipped %d polymers, want 0", res.Skipped)
+	}
+	res, err = f.ComputeWithCache(eval, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Skipped != first.NPolymers {
+		t.Errorf("post-reset pass skipped %d, want %d", res.Skipped, first.NPolymers)
+	}
+}
+
+// A displaced geometry beyond the tolerance must invalidate skip reuse
+// for the moved monomer's polymers only.
+func TestComputeWithCacheDisplacementInvalidation(t *testing.T) {
+	g := molecule.WaterCluster(3)
+	f, err := ByMolecule(g, 3, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := &potential.LennardJones{}
+	cache := warmstart.NewCache(0.01, 100)
+	if _, err := f.ComputeWithCache(eval, cache); err != nil {
+		t.Fatal(err)
+	}
+	// Move one atom of monomer 0 well past the tolerance.
+	g.Atoms[0].Pos[0] += 0.5
+	res, err := f.ComputeWithCache(eval, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monomer 0 touches: itself, dimers 0-1, 0-2 and the trimer → 4 of
+	// the 7 polymers re-evaluate; monomers 1, 2 and dimer 1-2 skip.
+	if res.Skipped != 3 {
+		t.Errorf("skipped %d polymers after moving monomer 0, want 3", res.Skipped)
+	}
+	// The reused polymers are exact, so the energy must match a fresh
+	// computation exactly for this additive test case.
+	fresh, err := f.Compute(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(res.Energy - fresh.Energy); d > 1e-12 {
+		t.Errorf("cached energy deviates by %.2e", d)
+	}
+}
+
+// countingEvaluator wraps LJ (without method promotion, so it stays a
+// plain, non-stateful Evaluator) and counts real evaluations.
+type countingEvaluator struct {
+	lj    potential.LennardJones
+	calls int
+}
+
+func (c *countingEvaluator) Evaluate(g *molecule.Geometry) (float64, []float64, error) {
+	c.calls++
+	return c.lj.Evaluate(g)
+}
+
+// A non-stateful evaluator must still get skip reuse via the minimal
+// snapshot path.
+func TestComputeWithCacheStatelessEvaluator(t *testing.T) {
+	g := molecule.WaterCluster(2)
+	f, err := ByMolecule(g, 3, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := &countingEvaluator{}
+	cache := warmstart.NewCache(0.01, 5)
+	if _, err := f.ComputeWithCache(ev, cache); err != nil {
+		t.Fatal(err)
+	}
+	n1 := ev.calls
+	res, err := f.ComputeWithCache(ev, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.calls != n1 {
+		t.Errorf("stateless evaluator called %d more times despite skip reuse", ev.calls-n1)
+	}
+	if res.Skipped != res.NPolymers {
+		t.Errorf("skipped %d of %d", res.Skipped, res.NPolymers)
+	}
+}

@@ -13,7 +13,41 @@ import (
 	"github.com/fragmd/fragmd/internal/molecule"
 	"github.com/fragmd/fragmd/internal/mp2"
 	"github.com/fragmd/fragmd/internal/scf"
+	"github.com/fragmd/fragmd/internal/warmstart"
 )
+
+// stateFromSCF snapshots a converged SCF result as a warm-start state
+// (the energy/gradient fields are filled in by the caller).
+func stateFromSCF(g *molecule.Geometry, ref *scf.Result, basisName string) *warmstart.State {
+	st := &warmstart.State{
+		D:     ref.D,
+		C:     ref.C,
+		Basis: basisName,
+		NBf:   ref.Bs.N,
+		NOcc:  ref.NOcc,
+
+		SCFIters: ref.Iters,
+	}
+	if ref.Aux != nil {
+		st.NAux = ref.Aux.N
+	}
+	st.Snapshot(g)
+	return st
+}
+
+// applyGuess injects prev's converged density and MO coefficients into
+// the SCF options when prev is a valid guess for this geometry and
+// basis (same atoms, same basis name, matching basis dimension and
+// occupation); otherwise it leaves the cold core-Hamiltonian guess in
+// place.
+func applyGuess(opts *scf.Options, prev *warmstart.State, g *molecule.Geometry, basisName string, nbf int) {
+	if prev == nil || prev.D == nil || prev.Basis != basisName || prev.NBf != nbf ||
+		2*prev.NOcc != g.NumElectrons() || !prev.Compatible(g) {
+		return
+	}
+	opts.GuessDensity = prev.D
+	opts.GuessC = prev.C
+}
 
 // RIMP2 evaluates RI-HF + RI-MP2 energies and fully analytic gradients —
 // the paper's production potential.
@@ -31,35 +65,47 @@ type RIMP2 struct {
 
 // Evaluate implements fragment.Evaluator.
 func (p *RIMP2) Evaluate(g *molecule.Geometry) (float64, []float64, error) {
+	e, grad, _, err := p.EvaluateFrom(g, nil)
+	return e, grad, err
+}
+
+// EvaluateFrom implements fragment.StatefulEvaluator: prev's converged
+// density (when compatible) becomes the SCF initial guess, and the new
+// converged state is returned for the next step.
+func (p *RIMP2) EvaluateFrom(g *molecule.Geometry, prev *warmstart.State) (float64, []float64, *warmstart.State, error) {
 	bs, err := basis.Build(p.basisName(), g)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	opts := p.SCFOpts
 	opts.UseRI = true
 	opts.AuxOpts = p.AuxOpts
+	applyGuess(&opts, prev, g, p.basisName(), bs.N)
 	ref, err := scf.RHF(g, bs, opts)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	mopts := p.MP2Opts
 	mopts.SCS = p.SCS
 	r, err := mp2.RIMP2(ref, mopts)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
+	st := stateFromSCF(g, ref, p.basisName())
+	st.Energy = r.ETotal
 	if p.EnergyOnly {
-		return r.ETotal, nil, nil
+		return r.ETotal, nil, st, nil
 	}
 	grad, err := r.Gradient()
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	// Note: the analytic gradient is for the plain MP2 functional; when
 	// SCS energies are requested the gradient still corresponds to plain
 	// MP2 (as in the paper, which reports SCS energetics but plain-MP2
 	// dynamics).
-	return r.ETotal, grad, nil
+	st.Grad = grad
+	return r.ETotal, grad, st, nil
 }
 
 func (p *RIMP2) basisName() string {
@@ -81,22 +127,33 @@ type HF struct {
 
 // Evaluate implements fragment.Evaluator.
 func (p *HF) Evaluate(g *molecule.Geometry) (float64, []float64, error) {
+	e, grad, _, err := p.EvaluateFrom(g, nil)
+	return e, grad, err
+}
+
+// EvaluateFrom implements fragment.StatefulEvaluator (see RIMP2).
+func (p *HF) EvaluateFrom(g *molecule.Geometry, prev *warmstart.State) (float64, []float64, *warmstart.State, error) {
 	name := p.Basis
 	if name == "" {
 		name = "sto-3g"
 	}
 	bs, err := basis.Build(name, g)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	opts := p.SCFOpts
 	opts.UseRI = p.UseRI
 	opts.AuxOpts = p.AuxOpts
+	applyGuess(&opts, prev, g, name, bs.N)
 	ref, err := scf.RHF(g, bs, opts)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
-	return ref.Energy, ref.Gradient(), nil
+	grad := ref.Gradient()
+	st := stateFromSCF(g, ref, name)
+	st.Energy = ref.Energy
+	st.Grad = grad
+	return ref.Energy, grad, st, nil
 }
 
 // LennardJones is a pairwise 12-6 surrogate potential with element-
@@ -150,6 +207,18 @@ func (p *LennardJones) Evaluate(g *molecule.Geometry) (float64, []float64, error
 		burn(p.Delay)
 	}
 	return energy, grad, nil
+}
+
+// EvaluateFrom implements fragment.StatefulEvaluator as a trivial
+// pass-through: LJ has no electronic state to warm, so prev is ignored
+// and the returned state carries only energy/gradient/geometry (enough
+// for skip reuse in the scheduler).
+func (p *LennardJones) EvaluateFrom(g *molecule.Geometry, _ *warmstart.State) (float64, []float64, *warmstart.State, error) {
+	e, grad, err := p.Evaluate(g)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return e, grad, warmstart.NewState(g, e, grad), nil
 }
 
 // burn spins for roughly d seconds of CPU work.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/fragmd/fragmd/internal/molecule"
+	"github.com/fragmd/fragmd/internal/warmstart"
 )
 
 func TestLennardJonesGradientFD(t *testing.T) {
@@ -62,6 +63,119 @@ func TestEvaluatorHierarchy(t *testing.T) {
 	}
 	if len(gradHF) != 3*g.N() || len(gradMP2) != 3*g.N() {
 		t.Fatal("gradient lengths")
+	}
+}
+
+// EvaluateFrom with a nil previous state must equal Evaluate exactly,
+// and with the previous geometry's converged state it must reproduce
+// the cold result while converging in strictly fewer SCF iterations —
+// the warm-start contract of fragment.StatefulEvaluator.
+func TestStatefulEvaluatorsWarmStart(t *testing.T) {
+	g := molecule.Water()
+	moved := g.Clone()
+	moved.Atoms[1].Pos[0] += 0.015
+	for _, tc := range []struct {
+		name string
+		eval interface {
+			Evaluate(*molecule.Geometry) (float64, []float64, error)
+			EvaluateFrom(*molecule.Geometry, *warmstart.State) (float64, []float64, *warmstart.State, error)
+		}
+	}{
+		{"RIHF", &HF{UseRI: true}},
+		{"RIMP2", &RIMP2{}},
+	} {
+		// Separate evaluations are not bitwise identical (the runtime
+		// GEMM auto-tuner may pick different variants run to run, which
+		// reassociates floating-point sums), so compare at noise level.
+		eCold, gCold, err := tc.eval.Evaluate(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eFrom, gFrom, st, err := tc.eval.EvaluateFrom(g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(eCold-eFrom) > 1e-10 {
+			t.Errorf("%s: EvaluateFrom(nil) energy %.12f != Evaluate %.12f", tc.name, eFrom, eCold)
+		}
+		for i := range gCold {
+			if math.Abs(gCold[i]-gFrom[i]) > 1e-8 {
+				t.Fatalf("%s: EvaluateFrom(nil) gradient differs at %d: %.12f vs %.12f",
+					tc.name, i, gFrom[i], gCold[i])
+			}
+		}
+		if st == nil || st.D == nil || st.SCFIters == 0 {
+			t.Fatalf("%s: state missing density or iteration count", tc.name)
+		}
+		if st.Energy != eFrom {
+			t.Errorf("%s: state energy %.12f != returned %.12f", tc.name, st.Energy, eFrom)
+		}
+
+		eColdMoved, _, stCold, err := tc.eval.EvaluateFrom(moved, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eWarm, _, stWarm, err := tc.eval.EvaluateFrom(moved, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(eWarm - eColdMoved); d > 1e-8 {
+			t.Errorf("%s: warm energy deviates by %.2e Ha", tc.name, d)
+		}
+		if stWarm.SCFIters >= stCold.SCFIters {
+			t.Errorf("%s: warm iters %d not below cold %d", tc.name, stWarm.SCFIters, stCold.SCFIters)
+		}
+	}
+}
+
+// An incompatible previous state (different molecule) must be ignored:
+// same result as a cold start, no error.
+func TestWarmStartIncompatiblePrev(t *testing.T) {
+	hf := &HF{UseRI: true}
+	_, _, stWater, err := hf.EvaluateFrom(molecule.Water(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dimer := molecule.WaterDimer(3.0)
+	eCold, _, stC, err := hf.EvaluateFrom(dimer, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eWarm, _, stW, err := hf.EvaluateFrom(dimer, stWater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eCold-eWarm) > 1e-10 || stC.SCFIters != stW.SCFIters {
+		t.Error("incompatible previous state was not ignored")
+	}
+}
+
+// The LJ surrogate passes through: EvaluateFrom ignores prev and the
+// returned state carries energy/gradient/geometry for skip reuse.
+func TestLennardJonesEvaluateFrom(t *testing.T) {
+	g := molecule.WaterCluster(2)
+	lj := &LennardJones{}
+	e1, g1, err := lj.Evaluate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, g2, st, err := lj.EvaluateFrom(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Errorf("pass-through energy %.12f != %.12f", e2, e1)
+	}
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatal("pass-through gradient differs")
+		}
+	}
+	if st == nil || st.Energy != e1 || st.Grad == nil || st.SCFIters != 0 || st.D != nil {
+		t.Errorf("LJ state = %+v, want minimal energy/grad snapshot", st)
+	}
+	if !st.Compatible(g) || st.MaxDisplacement(g) != 0 {
+		t.Error("LJ state snapshot does not match its geometry")
 	}
 }
 

@@ -51,6 +51,20 @@ type Options struct {
 	SchwarzThresh float64
 	// Tuner routes GEMMs; nil uses autotune.Default.
 	Tuner *autotune.Tuner
+	// GuessDensity, when non-nil and dimensioned nbf×nbf, replaces the
+	// core-Hamiltonian initial guess — the warm-start path for AIMD,
+	// where the previous step's converged density of the same fragment
+	// is an excellent starting point. The SCF still iterates to the
+	// configured thresholds, so the converged result is unchanged;
+	// only the iteration count drops.
+	GuessDensity *linalg.Mat
+	// GuessC optionally supplies the MO coefficients the guess density
+	// was built from; its occupied block then seeds the RI exchange
+	// build directly. Without it the occupied factor is recovered from
+	// the density's spectral decomposition (an O(nbf³) EigSym), which
+	// is exact for any D of the 2·C·Cᵀ form. Ignored unless
+	// GuessDensity is set.
+	GuessC *linalg.Mat
 }
 
 func (o *Options) fill() {
@@ -198,10 +212,21 @@ func RHF(g *molecule.Geometry, bs *basis.Set, opts Options) (*Result, error) {
 		}
 	}
 
-	// Core-Hamiltonian guess.
-	c, eps := solveFock(res.H, x)
-	d := densityFromC(c, nocc)
-	co := occBlock(c, nocc)
+	// Initial guess: injected density (warm start) or core Hamiltonian.
+	var c, d, co *linalg.Mat
+	var eps []float64
+	if gd := opts.GuessDensity; gd != nil && gd.Rows == bs.N && gd.Cols == bs.N {
+		d = gd.Clone()
+		if gc := opts.GuessC; gc != nil && gc.Rows == bs.N && gc.Cols >= nocc {
+			co = occBlock(gc, nocc)
+		} else {
+			co = occFromDensity(d, nocc)
+		}
+	} else {
+		c, eps = solveFock(res.H, x)
+		d = densityFromC(c, nocc)
+		co = occBlock(c, nocc)
+	}
 
 	diis := newDIIS(opts.DIISLen)
 	var ePrev float64
@@ -305,6 +330,30 @@ func densityFromC(c *linalg.Mat, nocc int) *linalg.Mat {
 		}
 	}
 	return d
+}
+
+// occFromDensity recovers an occupied-orbital factor from an AO density:
+// D = 2·C_o·C_oᵀ has rank nocc, so its spectral decomposition D = U Λ Uᵀ
+// yields C'_o = U·sqrt(Λ/2) over the top nocc eigenvalues with
+// C'_o C'_oᵀ = D/2 exactly. Any such factor builds the same Fock matrix
+// (J and K depend on D only), so the guess density alone suffices for
+// the RI exchange path.
+func occFromDensity(d *linalg.Mat, nocc int) *linalg.Mat {
+	w, v := linalg.EigSym(d) // ascending eigenvalues
+	n := d.Rows
+	co := linalg.NewMat(n, nocc)
+	for i := 0; i < nocc; i++ {
+		col := n - 1 - i // largest eigenvalues last
+		lam := w[col]
+		if lam < 0 {
+			lam = 0
+		}
+		s := math.Sqrt(lam / 2)
+		for mu := 0; mu < n; mu++ {
+			co.Set(mu, i, s*v.At(mu, col))
+		}
+	}
+	return co
 }
 
 func occBlock(c *linalg.Mat, nocc int) *linalg.Mat {

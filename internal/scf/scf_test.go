@@ -139,7 +139,73 @@ func fdGradient(t *testing.T, g *molecule.Geometry, useRI bool, auxOpts basis.Au
 	return grad
 }
 
+// The injected guess density (warm start) must not change the converged
+// result — only shrink the iteration count. Checked on both Fock-build
+// back ends, starting from the converged density of a slightly
+// different geometry, as in consecutive AIMD steps.
+func TestGuessDensityWarmStart(t *testing.T) {
+	g := molecule.Water()
+	for _, useRI := range []bool{false, true} {
+		bs, _ := basis.Build("sto-3g", g)
+		prev, err := RHF(g, bs, Options{UseRI: useRI})
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := g.Clone()
+		moved.Atoms[0].Pos[0] += 0.01
+		moved.Atoms[2].Pos[1] -= 0.008
+		bs2, _ := basis.Build("sto-3g", moved)
+		cold, err := RHF(moved, bs2, Options{UseRI: useRI})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := RHF(moved, bs2, Options{UseRI: useRI, GuessDensity: prev.D})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.Converged {
+			t.Fatalf("useRI=%v: warm-started SCF did not converge", useRI)
+		}
+		if d := math.Abs(warm.Energy - cold.Energy); d > 1e-8 {
+			t.Errorf("useRI=%v: warm energy deviates by %.2e Ha", useRI, d)
+		}
+		if warm.Iters >= cold.Iters {
+			t.Errorf("useRI=%v: warm iters %d not below cold %d", useRI, warm.Iters, cold.Iters)
+		}
+		// Supplying the MO coefficients alongside the density (the fast
+		// path that skips the spectral decomposition) must behave the
+		// same: C·Cᵀ over the occupied block equals D/2 exactly.
+		warmC, err := RHF(moved, bs2, Options{UseRI: useRI, GuessDensity: prev.D, GuessC: prev.C})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := math.Abs(warmC.Energy - cold.Energy); d > 1e-8 {
+			t.Errorf("useRI=%v: GuessC warm energy deviates by %.2e Ha", useRI, d)
+		}
+		if warmC.Iters >= cold.Iters {
+			t.Errorf("useRI=%v: GuessC warm iters %d not below cold %d", useRI, warmC.Iters, cold.Iters)
+		}
+	}
+}
+
+// A wrongly-dimensioned guess must be ignored, not crash or corrupt.
+func TestGuessDensityDimensionMismatch(t *testing.T) {
+	g := molecule.Water()
+	bs, _ := basis.Build("sto-3g", g)
+	bad := linalg.NewMat(2, 2)
+	res, err := RHF(g, bs, Options{UseRI: true, GuessDensity: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Energy-(-74.963)) > 5e-3 {
+		t.Errorf("energy %.5f with ignored guess, want ≈ −74.963", res.Energy)
+	}
+}
+
 func TestConventionalGradientFD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("finite-difference gradient of conventional SCF is slow; run without -short")
+	}
 	g := molecule.Water()
 	bs, _ := basis.Build("sto-3g", g)
 	res, err := RHF(g, bs, Options{ConvE: 1e-12, ConvErr: 1e-10})

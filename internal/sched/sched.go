@@ -27,6 +27,7 @@ import (
 
 	"github.com/fragmd/fragmd/internal/fragment"
 	"github.com/fragmd/fragmd/internal/md"
+	"github.com/fragmd/fragmd/internal/warmstart"
 )
 
 // Options configures the engine.
@@ -43,6 +44,31 @@ type Options struct {
 	// the monomer farthest from the system centroid (the paper chooses
 	// "an arbitrary fragment towards an extremity").
 	RefMonomer int
+
+	// WarmStart enables incremental evaluation across time steps: each
+	// polymer's converged electronic state is cached and injected as
+	// the SCF initial guess of its next evaluation. Exact — the SCF
+	// still converges to the same thresholds; only iteration counts
+	// (and wall time) drop. Requires a fragment.StatefulEvaluator to
+	// have any effect; the LJ surrogate passes through.
+	WarmStart bool
+	// SkipTol is a max-atom-displacement tolerance in Bohr: when > 0,
+	// a polymer whose atoms have all moved less than SkipTol since its
+	// last real evaluation reuses the cached energy/gradient and skips
+	// the evaluation entirely. Approximate — the reused forces lag the
+	// geometry by up to SkipTol; MaxSkip bounds the staleness. Setting
+	// SkipTol > 0 implies warm starting (the state cache exists either
+	// way).
+	SkipTol float64
+	// MaxSkip bounds consecutive skipped evaluations per polymer
+	// (default warmstart.DefaultMaxSkip when SkipTol > 0).
+	MaxSkip int
+	// Cache optionally carries a warm-start cache across Run calls or
+	// in from a serial fragment.ComputeWithCache; nil allocates one
+	// internally when WarmStart or SkipTol is set. An explicit Cache
+	// takes full precedence: its own skip tolerance and staleness
+	// bound apply, and WarmStart/SkipTol/MaxSkip here are ignored.
+	Cache *warmstart.Cache
 }
 
 // StepStats reports a completed time step.
@@ -53,6 +79,11 @@ type StepStats struct {
 	Etot     float64
 	Wall     time.Duration // first dispatch → last result of this step
 	NPolymer int
+	// SCFIters totals SCF iterations across this step's polymer
+	// evaluations (0 for stateless evaluators); Skipped counts polymer
+	// evaluations avoided via skip reuse.
+	SCFIters int
+	Skipped  int
 }
 
 // Engine drives asynchronous MBE AIMD.
@@ -68,7 +99,13 @@ type Engine struct {
 	touching [][]int   // monomer → polymer indices touching it
 	prio     []taskPriority
 	refMono  int
+	cache    *warmstart.Cache // nil unless WarmStart/SkipTol configured
 }
+
+// Cache returns the engine's warm-start cache (nil when incremental
+// evaluation is disabled), e.g. to inspect hit/skip statistics or to
+// hand the warmed states to a later engine.
+func (e *Engine) Cache() *warmstart.Cache { return e.cache }
 
 type taskPriority struct {
 	dist float64
@@ -82,11 +119,13 @@ type task struct {
 }
 
 type result struct {
-	task task
-	e    float64
-	grad []float64
-	ex   *fragment.Extracted
-	err  error
+	task    task
+	e       float64
+	grad    []float64
+	ex      *fragment.Extracted
+	err     error
+	iters   int  // SCF iterations of this evaluation
+	skipped bool // cached energy/gradient reused, no evaluation
 }
 
 // taskHeap orders by (distance to reference asc, size desc, step asc).
@@ -128,6 +167,11 @@ func New(f *fragment.Fragmentation, eval fragment.Evaluator, opts Options) (*Eng
 		return nil, errors.New("sched: time step must be positive")
 	}
 	e := &Engine{Frag: f, Eval: eval, Opts: opts}
+	if opts.Cache != nil {
+		e.cache = opts.Cache
+	} else if opts.WarmStart || opts.SkipTol > 0 {
+		e.cache = warmstart.NewCache(opts.SkipTol, opts.MaxSkip)
+	}
 	e.terms = f.Terms()
 	coeffMap := e.terms.Coefficients()
 	e.polymers = e.terms.All()
@@ -232,6 +276,8 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 	polyRemaining := make([]int, n)
 	monoRemaining := make([]int, n)
 	ekinStep := make([]float64, n)
+	scfIterStep := make([]int, n)
+	skipStep := make([]int, n)
 	firstDispatch := make([]time.Time, n)
 	lastResult := make([]time.Time, n)
 	for t := 0; t < n; t++ {
@@ -253,8 +299,10 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 	for w := 0; w < e.Opts.Workers; w++ {
 		go func() {
 			for tw := range taskCh {
-				en, gr, err := e.Eval.Evaluate(tw.ex.Geom)
-				resCh <- result{task: tw.task, e: en, grad: gr, ex: tw.ex, err: err}
+				key := e.polymers[tw.task.poly].Key()
+				en, gr, iters, skipped, err := fragment.EvaluateWithCache(e.Eval, e.cache, key, tw.ex.Geom)
+				resCh <- result{task: tw.task, e: en, grad: gr, ex: tw.ex, err: err,
+					iters: iters, skipped: skipped}
 			}
 		}()
 	}
@@ -369,6 +417,10 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 		}
 		t := r.task.step
 		lastResult[t] = time.Now()
+		scfIterStep[t] += r.iters
+		if r.skipped {
+			skipStep[t]++
+		}
 		c := e.coeff[r.task.poly]
 		epotStep[t] += c * r.e
 		r.ex.FoldGradient(r.grad, c, stepGrad(t))
@@ -424,6 +476,7 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 		st := StepStats{
 			Step: t, Epot: epotStep[t], Ekin: ekinStep[t],
 			Etot: epotStep[t] + ekinStep[t], NPolymer: npoly,
+			SCFIters: scfIterStep[t], Skipped: skipStep[t],
 		}
 		if !firstDispatch[t].IsZero() && !lastResult[t].IsZero() {
 			st.Wall = lastResult[t].Sub(firstDispatch[t])

@@ -1,0 +1,176 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/fragmd/fragmd/internal/basis"
+	"github.com/fragmd/fragmd/internal/chem"
+	"github.com/fragmd/fragmd/internal/fragment"
+	"github.com/fragmd/fragmd/internal/md"
+	"github.com/fragmd/fragmd/internal/molecule"
+	"github.com/fragmd/fragmd/internal/potential"
+)
+
+// runWaterTrajectory integrates a short RI-HF NVE trajectory of a small
+// water cluster with identical initial conditions, varying only the
+// engine's reuse policy.
+func runWaterTrajectory(t *testing.T, waters, steps int, opts Options) []StepStats {
+	t.Helper()
+	g := molecule.WaterCluster(waters)
+	f, err := fragment.ByMolecule(g, 3, 1, fragment.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := &potential.HF{UseRI: true, AuxOpts: basis.AuxOptions{PerL: []int{5, 4, 3}}}
+	opts.Workers = 2
+	opts.Async = true
+	opts.Dt = 0.5 * chem.AtomicTimePerFs
+	eng, err := New(f, eval, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := md.NewState(f.Geom.Clone())
+	state.SampleVelocities(120, rand.New(rand.NewSource(23)))
+	stats, err := eng.Run(state, steps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// Acceptance: warm-started dynamics must reproduce the cold-start
+// trajectory energies within 1e-8 Ha per polymer on a water cluster,
+// while converging the SCF in strictly fewer total iterations across a
+// ≥5-step trajectory. Warm starting is exact — the per-polymer guess
+// only changes where the SCF starts, not where it converges.
+func TestWarmStartMatchesColdTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ab initio trajectory comparison is slow; run without -short")
+	}
+	const steps = 6
+	cold := runWaterTrajectory(t, 2, steps, Options{})
+	warm := runWaterTrajectory(t, 2, steps, Options{WarmStart: true})
+
+	npoly := cold[0].NPolymer
+	var coldIters, warmIters int
+	for i := range cold {
+		if d := math.Abs(cold[i].Epot - warm[i].Epot); d > 1e-8*float64(npoly) {
+			t.Errorf("step %d: warm Epot deviates from cold by %.2e Ha (%d polymers)", i, d, npoly)
+		}
+		if warm[i].Skipped != 0 {
+			t.Errorf("step %d: %d evaluations skipped with SkipTol=0", i, warm[i].Skipped)
+		}
+		if cold[i].SCFIters == 0 || warm[i].SCFIters == 0 {
+			t.Fatalf("step %d: missing SCF iteration counts (cold %d, warm %d)",
+				i, cold[i].SCFIters, warm[i].SCFIters)
+		}
+		coldIters += cold[i].SCFIters
+		warmIters += warm[i].SCFIters
+	}
+	if warmIters >= coldIters {
+		t.Errorf("warm total SCF iterations %d not strictly below cold %d", warmIters, coldIters)
+	}
+	t.Logf("total SCF iterations over %d steps: cold %d, warm %d (%.0f%% saved)",
+		steps, coldIters, warmIters, 100*(1-float64(warmIters)/float64(coldIters)))
+}
+
+// Step 0 has no previous state, so cold and warm step-0 iteration
+// counts must be identical; savings appear from step 1 on.
+func TestWarmStartFirstStepIsCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ab initio trajectory comparison is slow; run without -short")
+	}
+	cold := runWaterTrajectory(t, 2, 2, Options{})
+	warm := runWaterTrajectory(t, 2, 2, Options{WarmStart: true})
+	if cold[0].SCFIters != warm[0].SCFIters {
+		t.Errorf("step-0 iterations differ: cold %d vs warm %d", cold[0].SCFIters, warm[0].SCFIters)
+	}
+	if warm[1].SCFIters >= cold[1].SCFIters {
+		t.Errorf("step-1 warm iterations %d not below cold %d", warm[1].SCFIters, cold[1].SCFIters)
+	}
+}
+
+// Skip reuse with the LJ surrogate: under a generous tolerance the
+// engine must actually skip evaluations, respect the staleness bound,
+// and stay close to the exact trajectory.
+func TestSkipReuseDynamics(t *testing.T) {
+	g := molecule.WaterCluster(4)
+	run := func(opts Options) []StepStats {
+		f, err := fragment.ByMolecule(g.Clone(), 3, 1, fragment.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Workers = 3
+		opts.Async = true
+		opts.Dt = 0.25 * chem.AtomicTimePerFs
+		eng, err := New(f, &potential.LennardJones{}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := md.NewState(f.Geom.Clone())
+		state.SampleVelocities(120, rand.New(rand.NewSource(9)))
+		stats, err := eng.Run(state, 12, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	exact := run(Options{})
+	skip := run(Options{SkipTol: 0.05, MaxSkip: 2})
+
+	npoly := exact[0].NPolymer
+	var skipped int
+	for i := range skip {
+		skipped += skip[i].Skipped
+		if skip[i].Skipped > npoly {
+			t.Fatalf("step %d skipped %d > %d polymers", i, skip[i].Skipped, npoly)
+		}
+		if d := math.Abs(skip[i].Epot - exact[i].Epot); d > 1e-4 {
+			t.Errorf("step %d: skip-reuse Epot deviates by %.2e Ha", i, d)
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("no evaluations skipped under a generous tolerance")
+	}
+	// MaxSkip=2 forces a real evaluation at least every third visit:
+	// over n steps each polymer needs ≥ ceil(n/3) real evaluations, so
+	// at most n − ceil(n/3) skips.
+	n := len(skip)
+	total := n * npoly
+	maxSkipsPerPolymer := n - (n+2)/3
+	if limit := npoly * maxSkipsPerPolymer; skipped > limit {
+		t.Errorf("skipped %d of %d evaluations, staleness bound allows at most %d", skipped, total, limit)
+	}
+}
+
+// The engine must expose its cache so callers can inspect reuse
+// counters or carry the warmed states into another engine.
+func TestEngineCacheExposed(t *testing.T) {
+	f := ljFrag(t, 3, fragment.Options{})
+	eng, err := New(f, &potential.LennardJones{}, Options{Dt: 1, SkipTol: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Cache() == nil {
+		t.Fatal("cache not created with SkipTol set")
+	}
+	state := newLJState(f, 2)
+	if _, err := eng.Run(state, 6, nil); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Cache().Len() != len(eng.polymers) {
+		t.Errorf("cache holds %d states, want %d", eng.Cache().Len(), len(eng.polymers))
+	}
+	if s := eng.Cache().Stats(); s.Skips == 0 {
+		t.Errorf("cache stats report no skips: %+v", s)
+	}
+	cold, err := New(f, &potential.LennardJones{}, Options{Dt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cache() != nil {
+		t.Error("cache created without warm-start options")
+	}
+}

@@ -1,0 +1,246 @@
+// Package warmstart implements incremental MBE evaluation across AIMD
+// time steps (the paper's "reuse between steps" lever): fragments move
+// only slightly per step, so the converged SCF state of a polymer is an
+// excellent initial guess for its next evaluation, and a polymer that
+// has barely moved at all need not be re-evaluated.
+//
+// Two reuse levels are provided, with different accuracy semantics:
+//
+//   - Warm start (exact): Cache.Guess returns the previous converged
+//     state of a polymer; stateful evaluators inject its density as the
+//     SCF initial guess (scf.Options.GuessDensity). The SCF still
+//     iterates to the same convergence thresholds, so the converged
+//     energy and gradient are unchanged to within those thresholds —
+//     only the iteration count drops.
+//
+//   - Skip reuse (approximate): when every atom of a polymer has moved
+//     less than the cache's skip tolerance since its last *real*
+//     evaluation, Cache.Reuse hands back the cached energy/gradient and
+//     the evaluation is skipped entirely. The error is bounded by the
+//     tolerance times the local force curvature; a staleness bound
+//     (maxSkip consecutive reuses) forces a real evaluation
+//     periodically so drift cannot accumulate unchecked. Displacement
+//     is always measured against the geometry of the last real
+//     evaluation, not the previous step, so small per-step motions
+//     still invalidate the entry once they add up.
+//
+// States are keyed by polymer identity (fragment.Polymer.Key) and
+// validated against the fragment's atom list and basis metadata before
+// any reuse; an incompatible entry is evicted. The cache is safe for
+// concurrent use by the scheduler's worker pool.
+package warmstart
+
+import (
+	"math"
+	"sync"
+
+	"github.com/fragmd/fragmd/internal/linalg"
+	"github.com/fragmd/fragmd/internal/molecule"
+)
+
+// State is the reusable result of one fragment evaluation: the
+// converged electronic state (for warm starting the next SCF) plus the
+// energy/gradient and the geometry they were computed at (for skip
+// reuse). D and C are nil for evaluators with no electronic state
+// (e.g. the Lennard-Jones surrogate); such states still support skip
+// reuse.
+type State struct {
+	// Zs and Pos snapshot the geometry of the evaluation: atomic
+	// numbers (identity check) and flat 3N positions in Bohr
+	// (displacement check).
+	Zs  []int
+	Pos []float64
+
+	// Energy and Grad are the evaluation's results; Grad may be nil for
+	// energy-only evaluations.
+	Energy float64
+	Grad   []float64
+
+	// Converged electronic state and fitted-basis metadata (nil/zero
+	// for stateless evaluators). D is the AO density (occupation-2
+	// convention), C the MO coefficients. Basis, NBf and NOcc are
+	// validated before the state is reused as an SCF guess; NAux (the
+	// auxiliary-basis size the state was fitted with) is diagnostic
+	// only — a density converged under a different auxiliary basis is
+	// still a valid guess.
+	D     *linalg.Mat
+	C     *linalg.Mat
+	Basis string
+	NBf   int
+	NAux  int
+	NOcc  int
+
+	// SCFIters is the number of SCF iterations the evaluation took
+	// (0 for stateless evaluators) — the quantity the warm start is
+	// meant to shrink.
+	SCFIters int
+}
+
+// NewState snapshots a stateless evaluation (no electronic state):
+// enough for skip reuse but not for SCF warm starting.
+func NewState(g *molecule.Geometry, energy float64, grad []float64) *State {
+	s := &State{Energy: energy, Grad: grad}
+	s.Snapshot(g)
+	return s
+}
+
+// Snapshot records the geometry the state was computed at.
+func (s *State) Snapshot(g *molecule.Geometry) {
+	s.Zs = make([]int, g.N())
+	s.Pos = make([]float64, 3*g.N())
+	for i, a := range g.Atoms {
+		s.Zs[i] = a.Z
+		for k := 0; k < 3; k++ {
+			s.Pos[3*i+k] = a.Pos[k]
+		}
+	}
+}
+
+// Compatible reports whether the state was computed for the same atom
+// list (count and atomic numbers, in order) as g.
+func (s *State) Compatible(g *molecule.Geometry) bool {
+	if g.N() != len(s.Zs) {
+		return false
+	}
+	for i, a := range g.Atoms {
+		if a.Z != s.Zs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxDisplacement returns the largest per-atom displacement (Bohr)
+// between the snapshot and g. It returns +Inf when the geometries are
+// incompatible.
+func (s *State) MaxDisplacement(g *molecule.Geometry) float64 {
+	if !s.Compatible(g) {
+		return math.Inf(1)
+	}
+	var worst float64
+	for i, a := range g.Atoms {
+		var d2 float64
+		for k := 0; k < 3; k++ {
+			dx := a.Pos[k] - s.Pos[3*i+k]
+			d2 += dx * dx
+		}
+		if d2 > worst {
+			worst = d2
+		}
+	}
+	return math.Sqrt(worst)
+}
+
+// Stats are cumulative cache counters.
+type Stats struct {
+	// Hits counts Guess calls that returned a usable previous state.
+	Hits int
+	// Misses counts Guess calls with no usable state.
+	Misses int
+	// Skips counts Reuse calls that skipped an evaluation.
+	Skips int
+	// Evictions counts entries dropped for incompatibility.
+	Evictions int
+}
+
+// Cache holds per-polymer states across time steps, keyed by
+// fragment.Polymer.Key strings. It is safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	skipTol float64
+	maxSkip int
+	stats   Stats
+}
+
+type entry struct {
+	state *State
+	skips int // consecutive skip reuses since the last real evaluation
+}
+
+// DefaultMaxSkip bounds consecutive skip reuses when no explicit bound
+// is configured.
+const DefaultMaxSkip = 3
+
+// NewCache creates a cache. skipTol is the max-atom-displacement skip
+// tolerance in Bohr (0 disables skip reuse; warm-start guesses still
+// work). maxSkip bounds consecutive skip reuses per polymer; 0 selects
+// DefaultMaxSkip.
+func NewCache(skipTol float64, maxSkip int) *Cache {
+	if maxSkip <= 0 {
+		maxSkip = DefaultMaxSkip
+	}
+	return &Cache{entries: map[string]*entry{}, skipTol: skipTol, maxSkip: maxSkip}
+}
+
+// SkipTol returns the configured skip tolerance (Bohr).
+func (c *Cache) SkipTol() float64 { return c.skipTol }
+
+// Len returns the number of cached polymer states.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Guess returns the cached state for key as a warm-start guess, or nil
+// when absent or incompatible with g (incompatible entries are
+// evicted — the polymer's composition changed).
+func (c *Cache) Guess(key string, g *molecule.Geometry) *State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	en, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil
+	}
+	if !en.state.Compatible(g) {
+		delete(c.entries, key)
+		c.stats.Evictions++
+		c.stats.Misses++
+		return nil
+	}
+	c.stats.Hits++
+	return en.state
+}
+
+// Reuse decides the skip path: when the cache has a compatible state
+// for key whose atoms have all moved less than the skip tolerance
+// since the last real evaluation, and the staleness bound has not been
+// reached, it returns that state and true, counting one more skip.
+// Otherwise it returns (nil, false) and the caller must evaluate.
+func (c *Cache) Reuse(key string, g *molecule.Geometry) (*State, bool) {
+	if c.skipTol <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	en, ok := c.entries[key]
+	if !ok || en.skips >= c.maxSkip {
+		return nil, false
+	}
+	if en.state.MaxDisplacement(g) >= c.skipTol {
+		return nil, false
+	}
+	en.skips++
+	c.stats.Skips++
+	return en.state, true
+}
+
+// Put stores the state of a fresh (real) evaluation for key, resetting
+// the staleness counter.
+func (c *Cache) Put(key string, st *State) {
+	if st == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = &entry{state: st}
+}

@@ -1,0 +1,153 @@
+package warmstart
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/fragmd/fragmd/internal/molecule"
+)
+
+func twoAtomGeom(dz float64) *molecule.Geometry {
+	g := molecule.New()
+	g.AddAtom(8, 0, 0, 0)
+	g.AddAtom(1, 0, 0, 1.8+dz)
+	return g
+}
+
+func TestSnapshotCompatibility(t *testing.T) {
+	g := twoAtomGeom(0)
+	st := NewState(g, -1.5, []float64{0, 0, 0, 0, 0, 0})
+	if !st.Compatible(g) {
+		t.Fatal("state incompatible with its own geometry")
+	}
+	if d := st.MaxDisplacement(g); d != 0 {
+		t.Errorf("self displacement = %g, want 0", d)
+	}
+	moved := twoAtomGeom(0.25)
+	if d := st.MaxDisplacement(moved); math.Abs(d-0.25) > 1e-12 {
+		t.Errorf("displacement = %g, want 0.25", d)
+	}
+	// Different element → incompatible, infinite displacement.
+	other := molecule.New()
+	other.AddAtom(6, 0, 0, 0)
+	other.AddAtom(1, 0, 0, 1.8)
+	if st.Compatible(other) {
+		t.Error("state compatible with different atoms")
+	}
+	if !math.IsInf(st.MaxDisplacement(other), 1) {
+		t.Error("incompatible displacement not +Inf")
+	}
+	// Different atom count → incompatible.
+	short := molecule.New()
+	short.AddAtom(8, 0, 0, 0)
+	if st.Compatible(short) {
+		t.Error("state compatible with truncated geometry")
+	}
+}
+
+func TestCacheGuessAndEviction(t *testing.T) {
+	c := NewCache(0, 0)
+	g := twoAtomGeom(0)
+	if c.Guess("0", g) != nil {
+		t.Fatal("guess from empty cache")
+	}
+	st := NewState(g, -2, nil)
+	c.Put("0", st)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if got := c.Guess("0", g); got != st {
+		t.Fatal("guess did not return stored state")
+	}
+	// Incompatible geometry evicts the entry.
+	other := molecule.New()
+	other.AddAtom(6, 0, 0, 0)
+	other.AddAtom(1, 0, 0, 1.8)
+	if c.Guess("0", other) != nil {
+		t.Fatal("incompatible guess returned")
+	}
+	if c.Len() != 0 {
+		t.Fatal("incompatible entry not evicted")
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 2 || s.Evictions != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 2 misses / 1 eviction", s)
+	}
+}
+
+func TestCacheReuseToleranceAndStaleness(t *testing.T) {
+	c := NewCache(0.1, 2)
+	g := twoAtomGeom(0)
+	c.Put("0", NewState(g, -2, []float64{1, 0, 0, 0, 0, 0}))
+
+	// Within tolerance: two reuses allowed, third blocked by staleness.
+	near := twoAtomGeom(0.05)
+	for i := 0; i < 2; i++ {
+		if _, ok := c.Reuse("0", near); !ok {
+			t.Fatalf("reuse %d refused within tolerance", i)
+		}
+	}
+	if _, ok := c.Reuse("0", near); ok {
+		t.Fatal("staleness bound not enforced")
+	}
+	// A fresh Put resets the staleness counter.
+	c.Put("0", NewState(near, -2.01, nil))
+	if _, ok := c.Reuse("0", near); !ok {
+		t.Fatal("reuse refused after fresh Put")
+	}
+
+	// Beyond tolerance: refused even with budget left.
+	far := twoAtomGeom(0.5)
+	if _, ok := c.Reuse("0", far); ok {
+		t.Fatal("reuse allowed beyond tolerance")
+	}
+	// Displacement is measured against the last *evaluated* geometry:
+	// repeated small steps must eventually trip the tolerance.
+	c2 := NewCache(0.1, 100)
+	c2.Put("0", NewState(twoAtomGeom(0), -2, nil))
+	steps := 0
+	for dz := 0.04; ; dz += 0.04 {
+		if _, ok := c2.Reuse("0", twoAtomGeom(dz)); !ok {
+			break
+		}
+		steps++
+	}
+	if steps != 2 { // 0.04, 0.08 reusable; 0.12 ≥ 0.1 is not
+		t.Errorf("accumulated drift allowed %d reuses, want 2", steps)
+	}
+}
+
+func TestCacheSkipDisabled(t *testing.T) {
+	c := NewCache(0, 0) // skipTol 0: skip path off, guesses still served
+	g := twoAtomGeom(0)
+	c.Put("0", NewState(g, -2, nil))
+	if _, ok := c.Reuse("0", g); ok {
+		t.Fatal("skip reuse with zero tolerance")
+	}
+	if c.Guess("0", g) == nil {
+		t.Fatal("guess unavailable with zero skip tolerance")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(0.1, 3)
+	g := twoAtomGeom(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := string(rune('a' + w%4))
+			for i := 0; i < 200; i++ {
+				c.Put(key, NewState(g, -2, nil))
+				c.Guess(key, g)
+				c.Reuse(key, g)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() != 4 {
+		t.Errorf("Len = %d, want 4", c.Len())
+	}
+}
