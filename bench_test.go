@@ -31,6 +31,7 @@ func BenchmarkTable2Landscape(b *testing.B)      { runExperiment(b, bench.Fig1Ta
 func BenchmarkTable3GlycineLatency(b *testing.B) { runExperiment(b, bench.Table3) }
 func BenchmarkFig3RIHFSpeedup(b *testing.B)      { runExperiment(b, bench.Fig3) }
 func BenchmarkTable4GemmVariants(b *testing.B)   { runExperiment(b, bench.Table4) }
+func BenchmarkGemmEngines(b *testing.B)          { runExperiment(b, bench.GemmBench) }
 func BenchmarkAutotuneAblation(b *testing.B)     { runExperiment(b, bench.AutotuneAblation) }
 func BenchmarkFig5Contributions(b *testing.B)    { runExperiment(b, bench.Fig5) }
 func BenchmarkFig6Conservation(b *testing.B)     { runExperiment(b, bench.Fig6) }

@@ -5,12 +5,19 @@
 //	mbebench [-full] <experiment>...
 //	mbebench -list
 //
-// Experiments: table1 fig1 table2 table3 fig3 table4 autotune fig5 fig6
-// async warmstart fig7 fig8 table5 all
+// Experiments: table1 fig1 table2 table3 fig3 table4 gemm autotune fig5
+// fig6 async warmstart fig7 fig8 table5 all
 //
 // By default workloads are shrunk to development-box scale; -full runs
 // the paper-size configurations (the exascale experiments remain
 // discrete-event simulations — see DESIGN.md §2).
+//
+// The gemm experiment additionally honours -bench-json (write the
+// machine-readable GFLOP/s report, conventionally BENCH_gemm.json),
+// -baseline (gate tracked shapes against a committed report) and
+// -max-regress (allowed GFLOP/s drop in percent, default 25); a gated
+// regression makes the process exit 1. This is the CI bench job
+// (see DESIGN.md §5).
 package main
 
 import (
@@ -34,6 +41,7 @@ var experiments = []struct {
 	{"table3", bench.Table3, "Gly_n single-time-step latency vs conventional"},
 	{"fig3", bench.Fig3, "RI-HF vs conventional-HF gradient ablation"},
 	{"table4", bench.Table4, "DGEMM variant performance on RI-MP2 shapes"},
+	{"gemm", bench.GemmBench, "GEMM engine microbenchmarks (BENCH_gemm.json)"},
 	{"autotune", bench.AutotuneAblation, "runtime GEMM auto-tuning speedup (§V-G)"},
 	{"fig5", bench.Fig5, "dimer/trimer contribution decay and cutoffs"},
 	{"fig6", bench.Fig6, "NVE energy conservation with async time steps"},
@@ -53,6 +61,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	full := fs.Bool("full", false, "run paper-size configurations")
 	list := fs.Bool("list", false, "list experiments")
+	benchJSON := fs.String("bench-json", "", "write the gemm GFLOP/s report to this path")
+	baseline := fs.String("baseline", "", "gate the gemm report against this committed baseline")
+	maxRegress := fs.Float64("max-regress", 25, "allowed GFLOP/s regression vs baseline, percent")
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -71,7 +82,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "usage: mbebench [-full] <experiment>|all ... (-list to enumerate)")
 		return 2
 	}
-	cfg := &bench.Config{Quick: !*full, Out: stdout}
+	cfg := &bench.Config{
+		Quick:         !*full,
+		Out:           stdout,
+		BenchJSON:     *benchJSON,
+		Baseline:      *baseline,
+		MaxRegressPct: *maxRegress,
+	}
 	runOne := func(name string) bool {
 		for _, e := range experiments {
 			if e.name == name || (name == "table2" && e.name == "fig1") {
@@ -95,6 +112,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "unknown experiment %q (-list to enumerate)\n", name)
 			return 2
 		}
+	}
+	if len(cfg.Failures) > 0 {
+		for _, f := range cfg.Failures {
+			fmt.Fprintf(stderr, "FAIL: %s\n", f)
+		}
+		return 1
 	}
 	return 0
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 )
@@ -67,5 +68,54 @@ func TestRunUsageErrors(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "unknown experiment") {
 		t.Error("missing unknown-experiment diagnostic")
+	}
+}
+
+// The gemm experiment must write the JSON report, gate against a
+// baseline, and turn regressions into exit 1. Slow (runs real GEMMs),
+// so skipped under -short.
+func TestRunGemmBenchFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gemm microbenchmarks are slow; run without -short")
+	}
+	dir := t.TempDir()
+	jsonPath := dir + "/BENCH_gemm.json"
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-bench-json", jsonPath, "gemm"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "PK/best") {
+		t.Error("gemm table missing from output")
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	if !strings.Contains(string(data), "\"tracked\": true") {
+		t.Error("report has no tracked rows")
+	}
+
+	// Same-machine rerun against the just-written baseline passes with
+	// a generous tolerance.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", jsonPath, "-max-regress", "60", "gemm"}, &out, &errOut); code != 0 {
+		t.Fatalf("baseline self-check exit %d, stderr: %s", code, errOut.String())
+	}
+
+	// An impossible baseline must fail the run with exit 1.
+	inflated := strings.ReplaceAll(string(data), "\"gflops\": ", "\"gflops\": 99")
+	badPath := dir + "/inflated.json"
+	if err := os.WriteFile(badPath, []byte(inflated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", badPath, "gemm"}, &out, &errOut); code != 1 {
+		t.Fatalf("inflated baseline: exit %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "regressed") {
+		t.Errorf("missing regression diagnostic: %s", errOut.String())
 	}
 }

@@ -1,7 +1,8 @@
-// Auto-tuning demo: shows the runtime GEMM variant selection (paper
+// Auto-tuning demo: shows the runtime GEMM strategy selection (paper
 // §V-G) in action — the same logical product executed through all four
-// algorithmic variants, timed in-situ, then locked to the winner; the
-// tuned shapes and their measured spread are printed afterwards.
+// streaming variants plus the packed register-blocked engine, timed
+// in-situ, then locked to the winner; the tuned shapes and their
+// measured spread are printed afterwards.
 package main
 
 import (
@@ -26,16 +27,17 @@ func main() {
 			b.Data[i] = float64(i%13) * 1e-3
 		}
 		c := linalg.NewMat(m, n)
-		// 8 calls: the first 4 trial the variants, the rest use the winner.
+		// 8 calls: the first 5 trial the candidates (four streaming
+		// variants + the packed engine), the rest use the winner.
 		for call := 0; call < 8; call++ {
 			tuner.Gemm(linalg.NoTrans, linalg.NoTrans, 1, a, b, 0, c)
 		}
 	}
-	fmt.Println("shape                     best   trial seconds [NN NT TN TT]      spread")
+	fmt.Println("shape                     best  trial GFLOP/s [NN NT TN TT PK]          spread")
 	for _, st := range tuner.Snapshot() {
-		fmt.Printf("(%4d×%6d)·(%6d×%4d)  %-4v  [%.4f %.4f %.4f %.4f]  %4.0f%%\n",
-			st.M, st.K, st.K, st.N, st.Best,
-			st.Seconds[0], st.Seconds[1], st.Seconds[2], st.Seconds[3], st.SpeedupPct)
+		fmt.Printf("(%4d×%6d)·(%6d×%4d)  %-4s  [%6.2f %6.2f %6.2f %6.2f %6.2f]  %4.0f%%\n",
+			st.M, st.K, st.K, st.N, st.BestName(),
+			st.GFLOPS[0], st.GFLOPS[1], st.GFLOPS[2], st.GFLOPS[3], st.GFLOPS[4], st.SpeedupPct)
 	}
 	fmt.Println("\npaper Table IV saw up to 20× spread between variants on MI250X;")
 	fmt.Println("the in-situ trial phase costs nothing because every call does useful work.")

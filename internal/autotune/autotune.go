@@ -1,18 +1,20 @@
 // Package autotune implements the runtime GEMM auto-tuning scheme of the
-// paper (§V-G, innovation iv). For every distinct GEMM shape (m, k, n)
-// encountered during execution, the tuner trials each of the four
-// algorithmic variants (NN, NT, TN, TT) on the first calls with that
-// shape — measuring the full cost including any operand transposes — and
-// then routes all subsequent calls with the same shape to the fastest
-// variant. Measurement is in-situ: trial calls perform useful work, so
-// no computation is wasted.
+// paper (§V-G, innovation iv), extended with engine arbitration. For
+// every distinct GEMM shape (m, k, n) encountered during execution, the
+// tuner trials each candidate execution strategy on the first calls with
+// that shape — measuring the full cost including any operand transposes
+// or packing — and then routes all subsequent calls with the same shape
+// to the fastest. Measurement is in-situ: trial calls perform useful
+// work, so no computation is wasted.
 //
-// Changing the variant is possible because a transpose is cheap relative
-// to a GEMM: C = A·B can be recast as D = Aᵀ followed by C = Dᵀ·B, and so
-// on. The paper reports up to 20× spread between variants on MI250X
-// (Table IV) and 12–13 % end-to-end AIMD speedups from the tuner; the
-// pure-Go kernels show the same qualitative spread because their loop
-// orders have different cache behaviour per shape.
+// The candidate set covers the four streaming variants (NN, NT, TN, TT:
+// different loop orders, selected by materialising cheap transposes) and
+// the packed, register-blocked engine (one orientation-free micro-kernel;
+// the transposes fold into the pack step, but small shapes pay a packing
+// cost the streaming loops avoid). The paper reports up to 20× spread
+// between variants on MI250X (Table IV) and 12–13 % end-to-end AIMD
+// speedups from the tuner; the pure-Go engines show the same qualitative
+// spread because their cache behaviour differs per shape.
 package autotune
 
 import (
@@ -28,32 +30,58 @@ import (
 // dimension k, for the *logical* (already-op-applied) dimensions.
 type shape struct{ m, k, n int }
 
-// trialsPerVariant is how many timed calls each variant receives before
-// the tuner locks in a winner (the paper trials each variant once; we
-// average a couple of calls to de-noise CPU timing).
-const trialsPerVariant = 1
+// Candidate execution strategies: the four streaming variants followed
+// by the packed engine.
+const (
+	candNN     = int(linalg.VariantNN)
+	candNT     = int(linalg.VariantNT)
+	candTN     = int(linalg.VariantTN)
+	candTT     = int(linalg.VariantTT)
+	candPacked = 4
+
+	// numCandidates is the arbitration arity: 4 streaming variants + 1
+	// packed engine.
+	numCandidates = 5
+)
+
+var candidateNames = [numCandidates]string{"NN", "NT", "TN", "TT", "PK"}
+
+// CandidateName returns the display name of candidate index i
+// ("NN".."TT" for the streaming variants, "PK" for the packed engine).
+func CandidateName(i int) string { return candidateNames[i] }
+
+// trialsPerCandidate is how many timed calls each candidate receives
+// before the tuner locks in a winner (the paper trials each variant
+// once; more calls would de-noise CPU timing at the cost of running
+// slow candidates longer).
+const trialsPerCandidate = 1
 
 // state tracks the tuning progress for one shape.
 type state struct {
-	trials [4]int     // calls measured per variant
-	total  [4]float64 // accumulated seconds per variant
-	best   linalg.Variant
+	trials [numCandidates]int     // calls measured per candidate
+	total  [numCandidates]float64 // accumulated seconds per candidate
+	best   int
 	locked bool
 }
 
 // Stats describes the tuning outcome for one GEMM shape.
 type Stats struct {
 	M, K, N    int
-	Best       linalg.Variant
+	Best       int // winning candidate index (see CandidateName)
 	Locked     bool
-	Seconds    [4]float64 // mean seconds per variant (0 if untried)
-	SpeedupPct float64    // best vs worst tried variant, percent
+	Seconds    [numCandidates]float64 // mean seconds per candidate (0 if untried)
+	GFLOPS     [numCandidates]float64 // 2mnk / mean seconds (0 if untried)
+	SpeedupPct float64                // best vs worst tried candidate, percent
 }
 
-// Tuner performs per-shape GEMM variant selection. The zero value is not
-// usable; create with New. A disabled tuner (Enabled == false) always
-// dispatches the variant the caller asked for, which is the ablation
-// baseline for the §V-G speedup measurement.
+// BestName returns the display name of the winning candidate.
+func (s Stats) BestName() string { return candidateNames[s.Best] }
+
+// Tuner performs per-shape GEMM strategy selection. The zero value is
+// not usable; create with New. A disabled tuner (Enabled == false)
+// always dispatches the variant the caller asked for through the
+// default engine heuristic, which is the ablation baseline for the §V-G
+// speedup measurement.
 type Tuner struct {
 	// Enabled turns auto-tuning on. When false every call uses the
 	// natural (caller-specified) variant.
@@ -72,8 +100,9 @@ func New() *Tuner {
 var Default = New()
 
 // Gemm computes C = alpha·op(A)·op(B) + beta·C like linalg.Gemm, but may
-// internally transpose operands to execute a faster variant for this
-// logical shape. Results are identical up to floating-point rounding.
+// internally transpose operands or route to the packed engine to execute
+// the fastest strategy for this logical shape. Results are identical up
+// to floating-point rounding.
 func (t *Tuner) Gemm(tA, tB linalg.Transpose, alpha float64, a, b *linalg.Mat, beta float64, c *linalg.Mat) {
 	if t == nil || !t.Enabled {
 		linalg.Gemm(tA, tB, alpha, a, b, beta, c)
@@ -95,15 +124,15 @@ func (t *Tuner) Gemm(tA, tB linalg.Transpose, alpha float64, a, b *linalg.Mat, b
 		st = &state{}
 		t.shapes[sh] = st
 	}
-	var variant linalg.Variant
+	var cand int
 	if st.locked {
-		variant = st.best
+		cand = st.best
 	} else {
-		// Pick the least-tried variant for this call.
-		variant = linalg.VariantNN
-		for v := linalg.VariantNN; v <= linalg.VariantTT; v++ {
-			if st.trials[v] < st.trials[variant] {
-				variant = v
+		// Pick the least-tried candidate for this call.
+		cand = candNN
+		for v := candNN; v < numCandidates; v++ {
+			if st.trials[v] < st.trials[cand] {
+				cand = v
 			}
 		}
 	}
@@ -111,25 +140,25 @@ func (t *Tuner) Gemm(tA, tB linalg.Transpose, alpha float64, a, b *linalg.Mat, b
 	t.mu.Unlock()
 
 	start := time.Now()
-	runVariant(variant, tA, tB, alpha, a, b, beta, c)
+	runCandidate(cand, tA, tB, alpha, a, b, beta, c)
 	elapsed := time.Since(start).Seconds()
 
 	if locked {
 		return
 	}
 	t.mu.Lock()
-	st.trials[variant]++
-	st.total[variant] += elapsed
+	st.trials[cand]++
+	st.total[cand] += elapsed
 	done := true
-	for v := linalg.VariantNN; v <= linalg.VariantTT; v++ {
-		if st.trials[v] < trialsPerVariant {
+	for v := candNN; v < numCandidates; v++ {
+		if st.trials[v] < trialsPerCandidate {
 			done = false
 			break
 		}
 	}
 	if done && !st.locked {
-		best := linalg.VariantNN
-		for v := linalg.VariantNN; v <= linalg.VariantTT; v++ {
+		best := candNN
+		for v := candNN; v < numCandidates; v++ {
 			if st.total[v]/float64(st.trials[v]) < st.total[best]/float64(st.trials[best]) {
 				best = v
 			}
@@ -140,14 +169,37 @@ func (t *Tuner) Gemm(tA, tB linalg.Transpose, alpha float64, a, b *linalg.Mat, b
 	t.mu.Unlock()
 }
 
-// runVariant executes the logical product op(A)·op(B) using the requested
-// physical variant, inserting explicit transposes as needed.
+// MatMul returns op(A)·op(B) as a fresh matrix (alpha=1, beta=0) routed
+// through the tuner, mirroring linalg.MatMul.
+func (t *Tuner) MatMul(tA, tB linalg.Transpose, a, b *linalg.Mat) *linalg.Mat {
+	m := a.Rows
+	if tA {
+		m = a.Cols
+	}
+	n := b.Cols
+	if tB {
+		n = b.Rows
+	}
+	c := linalg.NewMat(m, n)
+	t.Gemm(tA, tB, 1, a, b, 0, c)
+	return c
+}
+
+// runCandidate executes the logical product op(A)·op(B) using the
+// requested strategy.
 //
-// Logical orientation (tA,tB) asks for op(A), op(B); the physical variant
-// says which orientations the kernel should see. If they differ for an
-// operand, we materialise its transpose so the kernel's orientation flag
-// flips while the math stays the same.
-func runVariant(v linalg.Variant, tA, tB linalg.Transpose, alpha float64, a, b *linalg.Mat, beta float64, c *linalg.Mat) {
+// For the packed engine the logical orientation passes straight through:
+// packing folds both transposes, so no operand is materialised. For a
+// streaming candidate, the variant says which orientations the kernel
+// should see; if they differ from the logical orientation for an
+// operand, we materialise its transpose so the kernel's orientation
+// flag flips while the math stays the same.
+func runCandidate(cand int, tA, tB linalg.Transpose, alpha float64, a, b *linalg.Mat, beta float64, c *linalg.Mat) {
+	if cand == candPacked {
+		linalg.GemmKernel(linalg.KernelPacked, tA, tB, alpha, a, b, beta, c)
+		return
+	}
+	v := linalg.Variant(cand)
 	wantTA := v == linalg.VariantTN || v == linalg.VariantTT
 	wantTB := v == linalg.VariantNT || v == linalg.VariantTT
 	pa, pb := a, b
@@ -160,7 +212,7 @@ func runVariant(v linalg.Variant, tA, tB linalg.Transpose, alpha float64, a, b *
 		pb = b.T()
 		fb = linalg.Transpose(wantTB)
 	}
-	linalg.Gemm(fa, fb, alpha, pa, pb, beta, c)
+	linalg.GemmKernel(linalg.KernelStream, fa, fb, alpha, pa, pb, beta, c)
 }
 
 // Reset clears all tuning state (shapes must be re-trialled).
@@ -178,13 +230,17 @@ func (t *Tuner) Snapshot() []Stats {
 	out := make([]Stats, 0, len(t.shapes))
 	for sh, st := range t.shapes {
 		s := Stats{M: sh.m, K: sh.k, N: sh.n, Best: st.best, Locked: st.locked}
+		flops := 2 * float64(sh.m) * float64(sh.k) * float64(sh.n)
 		bestT, worstT := 0.0, 0.0
-		for v := 0; v < 4; v++ {
+		for v := 0; v < numCandidates; v++ {
 			if st.trials[v] == 0 {
 				continue
 			}
 			mean := st.total[v] / float64(st.trials[v])
 			s.Seconds[v] = mean
+			if mean > 0 {
+				s.GFLOPS[v] = flops / mean / 1e9
+			}
 			if bestT == 0 || mean < bestT {
 				bestT = mean
 			}
@@ -205,5 +261,5 @@ func (t *Tuner) Snapshot() []Stats {
 
 // String summarises a Stats row.
 func (s Stats) String() string {
-	return fmt.Sprintf("(%d×%d)·(%d×%d) best=%v locked=%v", s.M, s.K, s.K, s.N, s.Best, s.Locked)
+	return fmt.Sprintf("(%d×%d)·(%d×%d) best=%s locked=%v", s.M, s.K, s.K, s.N, s.BestName(), s.Locked)
 }

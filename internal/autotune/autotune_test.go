@@ -59,7 +59,7 @@ func TestTunerLocksAfterTrials(t *testing.T) {
 	a := randMat(rng, 20, 30)
 	b := randMat(rng, 30, 10)
 	c := linalg.NewMat(20, 10)
-	for i := 0; i < 4*trialsPerVariant; i++ {
+	for i := 0; i < numCandidates*trialsPerCandidate; i++ {
 		tu.Gemm(linalg.NoTrans, linalg.NoTrans, 1, a, b, 0, c)
 	}
 	snap := tu.Snapshot()
@@ -67,13 +67,70 @@ func TestTunerLocksAfterTrials(t *testing.T) {
 		t.Fatalf("expected 1 shape, got %d", len(snap))
 	}
 	if !snap[0].Locked {
-		t.Fatal("tuner should be locked after trialling all variants")
+		t.Fatal("tuner should be locked after trialling all candidates")
 	}
-	// All four variants must have been timed.
-	for v := 0; v < 4; v++ {
+	// All candidates (four streaming variants + packed) must have been
+	// timed, and each timed candidate must have a GFLOP/s figure.
+	for v := 0; v < numCandidates; v++ {
 		if snap[0].Seconds[v] == 0 {
-			t.Fatalf("variant %d never trialled", v)
+			t.Fatalf("candidate %s never trialled", CandidateName(v))
 		}
+		if snap[0].GFLOPS[v] <= 0 {
+			t.Fatalf("candidate %s has no GFLOP/s record", CandidateName(v))
+		}
+	}
+	if name := snap[0].BestName(); name == "" {
+		t.Fatal("empty best-candidate name")
+	}
+}
+
+// The packed-engine candidate must be numerically interchangeable with
+// the streaming candidates at every orientation — the tuner may pick it
+// for any shape.
+func TestTunerPackedCandidateCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tA := range []linalg.Transpose{linalg.NoTrans, linalg.Trans} {
+		for _, tB := range []linalg.Transpose{linalg.NoTrans, linalg.Trans} {
+			m, k, n := 13, 21, 9
+			var a, b *linalg.Mat
+			if tA {
+				a = randMat(rng, k, m)
+			} else {
+				a = randMat(rng, m, k)
+			}
+			if tB {
+				b = randMat(rng, n, k)
+			} else {
+				b = randMat(rng, k, n)
+			}
+			got := randMat(rng, m, n)
+			want := got.Clone()
+			runCandidate(candPacked, tA, tB, 1.25, a, b, 0.5, got)
+			linalg.GemmKernel(linalg.KernelStream, tA, tB, 1.25, a, b, 0.5, want)
+			for i := range got.Data {
+				if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+					t.Fatalf("tA=%v tB=%v: packed candidate mismatch at %d", tA, tB, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTunerMatMul(t *testing.T) {
+	tu := New()
+	rng := rand.New(rand.NewSource(6))
+	a := randMat(rng, 7, 11)
+	b := randMat(rng, 11, 5)
+	got := tu.MatMul(linalg.NoTrans, linalg.NoTrans, a, b)
+	want := linalg.MatMul(linalg.NoTrans, linalg.NoTrans, a, b)
+	for i := range got.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+			t.Fatal("Tuner.MatMul mismatch")
+		}
+	}
+	gt := tu.MatMul(linalg.Trans, linalg.Trans, b, a)
+	if gt.Rows != 5 || gt.Cols != 7 {
+		t.Fatalf("Tuner.MatMul TT dims %dx%d", gt.Rows, gt.Cols)
 	}
 }
 

@@ -22,10 +22,31 @@ type Config struct {
 	// tests; mbebench --full disables it).
 	Quick bool
 	Out   io.Writer
+
+	// BenchJSON, when non-empty, is where GemmBench writes its
+	// machine-readable report (conventionally BENCH_gemm.json).
+	BenchJSON string
+	// Baseline, when non-empty, is a committed report to gate against:
+	// tracked shapes whose GFLOP/s fall more than MaxRegressPct below
+	// it are recorded as Failures.
+	Baseline string
+	// MaxRegressPct is the allowed relative GFLOP/s drop versus the
+	// baseline, in percent. 0 really means zero tolerance — the
+	// cmd/mbebench flag layer owns the 25 % default.
+	MaxRegressPct float64
+	// Failures collects regression and I/O problems for the caller to
+	// turn into a non-zero exit (cmd/mbebench does).
+	Failures []string
 }
 
 func (c *Config) printf(format string, args ...interface{}) {
 	fmt.Fprintf(c.Out, format, args...)
+}
+
+// fail records a failure and echoes it to the report stream.
+func (c *Config) fail(msg string) {
+	c.Failures = append(c.Failures, msg)
+	c.printf("FAIL: %s\n", msg)
 }
 
 // Table1 prints the performance-attribute summary (paper Table I),
@@ -88,43 +109,29 @@ func Table4(c *Config) {
 		div = 8
 	}
 	c.printf("Table IV — DGEMM variant performance on RI-MP2 gradient shapes (K scaled /%d)\n", div)
-	c.printf("%8s %9s %6s  %10s %10s %10s %10s   best\n", "m", "k", "n", "NN", "NT", "TN", "TT")
+	c.printf("%8s %9s %6s  %10s %10s %10s %10s %10s   best\n", "m", "k", "n", "NN", "NT", "TN", "TT", "PK")
 	for _, s := range shapes {
 		k := s.K / div
-		a := linalg.NewMat(s.M, k)
-		b := linalg.NewMat(k, s.N)
-		for i := range a.Data {
-			a.Data[i] = 1e-3 * float64(i%97)
-		}
-		for i := range b.Data {
-			b.Data[i] = 1e-3 * float64(i%89)
-		}
-		out := linalg.NewMat(s.M, s.N)
-		var rates [4]float64
+		flops := 2 * float64(s.M) * float64(k) * float64(s.N)
+		secs := measureGemmEngines(s.M, k, s.N, 1)
+		var rates [5]float64
 		best := 0
-		for v := 0; v < 4; v++ {
-			tA := v == 2 || v == 3
-			tB := v == 1 || v == 3
-			pa, pb := a, b
-			if tA {
-				pa = a.T()
-			}
-			if tB {
-				pb = b.T()
-			}
-			start := time.Now()
-			linalg.Gemm(linalg.Transpose(tA), linalg.Transpose(tB), 1, pa, pb, 0, out)
-			el := time.Since(start).Seconds()
-			rates[v] = 2 * float64(s.M) * float64(k) * float64(s.N) / el / 1e9
+		for v := range secs {
+			rates[v] = flops / secs[v] / 1e9
 			if rates[v] > rates[best] {
 				best = v
 			}
 		}
-		c.printf("%8d %9d %6d  %9.2f %9.2f %9.2f %9.2f   %s\n",
-			s.M, k, s.N, rates[0], rates[1], rates[2], rates[3], linalg.Variant(best))
+		bestName := "PK"
+		if best < 4 {
+			bestName = linalg.Variant(best).String()
+		}
+		c.printf("%8d %9d %6d  %9.2f %9.2f %9.2f %9.2f %9.2f   %s\n",
+			s.M, k, s.N, rates[0], rates[1], rates[2], rates[3], rates[4], bestName)
 	}
 	c.printf("\nShape to verify: variant spread per shape (paper saw up to 20×), with the\n")
-	c.printf("winner varying across shapes — the premise of runtime auto-tuning (§V-G).\n")
+	c.printf("winner varying across shapes — the premise of runtime auto-tuning (§V-G) —\n")
+	c.printf("and the packed engine (PK) on top of every streaming variant at size.\n")
 }
 
 // AutotuneAblation measures the end-to-end speedup from the runtime

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func syntheticReport(gflops float64) *GemmBenchReport {
+	return &GemmBenchReport{
+		Schema: GemmBenchSchema,
+		GoOS:   "linux", GoArch: "amd64", NumCPU: 1, Quick: true,
+		Rows: []GemmBenchRow{
+			{Name: "square-256", M: 256, K: 256, N: 256, Kernel: "packed", Seconds: 1, GFLOPS: gflops, Tracked: true},
+			{Name: "square-256", M: 256, K: 256, N: 256, Kernel: "stream-NN", Seconds: 1, GFLOPS: gflops / 2, Tracked: true},
+			{Name: "small-24", M: 24, K: 24, N: 24, Kernel: "packed", Seconds: 1, GFLOPS: 1, Tracked: false},
+		},
+	}
+}
+
+func TestGemmReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_gemm.json")
+	rep := syntheticReport(8)
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGemmReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != len(rep.Rows) || got.Rows[0].GFLOPS != 8 || !got.Rows[0].Tracked {
+		t.Fatalf("round trip mangled report: %+v", got.Rows)
+	}
+}
+
+func TestLoadGemmReportRejectsBadSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	rep := syntheticReport(8)
+	rep.Schema = "something-else/v9"
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGemmReport(path); err == nil {
+		t.Fatal("expected schema mismatch error")
+	}
+}
+
+func TestCompareGemmReports(t *testing.T) {
+	base := syntheticReport(8)
+
+	// Identical run: no regressions.
+	if bad := CompareGemmReports(base, syntheticReport(8), 25); len(bad) != 0 {
+		t.Fatalf("unexpected regressions: %v", bad)
+	}
+	// 20 % drop within a 25 % tolerance: still fine.
+	if bad := CompareGemmReports(base, syntheticReport(6.4), 25); len(bad) != 0 {
+		t.Fatalf("within-tolerance drop flagged: %v", bad)
+	}
+	// 50 % drop: both tracked rows must be flagged.
+	bad := CompareGemmReports(base, syntheticReport(4), 25)
+	if len(bad) != 2 {
+		t.Fatalf("want 2 regressions, got %v", bad)
+	}
+	if !strings.Contains(bad[0], "regressed") {
+		t.Fatalf("unhelpful message: %q", bad[0])
+	}
+	// Tracked row missing from current: flagged.
+	cur := syntheticReport(8)
+	cur.Rows = cur.Rows[1:]
+	bad = CompareGemmReports(base, cur, 25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "missing") {
+		t.Fatalf("want 1 missing-row violation, got %v", bad)
+	}
+	// Untracked rows are never gated.
+	cur = syntheticReport(8)
+	cur.Rows[2].GFLOPS = 0.01
+	if bad := CompareGemmReports(base, cur, 25); len(bad) != 0 {
+		t.Fatalf("untracked row gated: %v", bad)
+	}
+}
+
+// The packed/stream-NN ratio gate must catch an engine regression that
+// absolute floors miss because the current machine is much faster than
+// the baseline one.
+func TestCompareGemmReportsRatioGate(t *testing.T) {
+	base := syntheticReport(8) // packed 8, stream-NN 4 → ratio 2.0
+
+	// Faster machine, healthy engine: packed 40, NN 20 → ratio 2.0. OK.
+	cur := syntheticReport(40)
+	if bad := CompareGemmReports(base, cur, 25); len(bad) != 0 {
+		t.Fatalf("healthy fast machine flagged: %v", bad)
+	}
+
+	// Faster machine, broken packed engine: packed 20, NN 20 → ratio
+	// 1.0, half the baseline ratio. Both absolute floors pass (20 ≫ 8),
+	// only the ratio gate can fire.
+	cur = syntheticReport(40)
+	cur.Rows[0].GFLOPS = 20
+	bad := CompareGemmReports(base, cur, 25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "ratio regressed") {
+		t.Fatalf("want 1 ratio violation, got %v", bad)
+	}
+}
+
+// The real suite: structure, JSON emission and self-consistency. Slow
+// (runs actual GEMMs), so skipped under -short.
+func TestRunGemmSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("GEMM suite is slow; run without -short")
+	}
+	var out bytes.Buffer
+	path := filepath.Join(t.TempDir(), "BENCH_gemm.json")
+	c := &Config{Quick: true, Out: &out, BenchJSON: path}
+	GemmBench(c)
+	if len(c.Failures) != 0 {
+		t.Fatalf("unexpected failures: %v", c.Failures)
+	}
+	rep, err := LoadGemmReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 shapes × 5 engines in quick mode.
+	if len(rep.Rows) != 20 {
+		t.Fatalf("want 20 rows, got %d", len(rep.Rows))
+	}
+	kernels := map[string]bool{}
+	tracked := 0
+	for _, row := range rep.Rows {
+		if row.GFLOPS <= 0 || row.Seconds <= 0 {
+			t.Fatalf("non-positive measurement: %+v", row)
+		}
+		kernels[row.Kernel] = true
+		if row.Tracked {
+			tracked++
+		}
+	}
+	for _, k := range []string{"stream-NN", "stream-NT", "stream-TN", "stream-TT", "packed"} {
+		if !kernels[k] {
+			t.Fatalf("kernel %s missing from report", k)
+		}
+	}
+	// Tracked: packed + stream-NN for each of the two acceptance shapes.
+	if tracked != 4 {
+		t.Fatalf("want 4 tracked rows, got %d", tracked)
+	}
+	if !strings.Contains(out.String(), "PK/best") {
+		t.Fatal("human-readable table missing")
+	}
+	// A fresh run must pass the gate against its own report (generous
+	// tolerance: back-to-back runs on a loaded box can wobble ±20 %).
+	var out2 bytes.Buffer
+	c2 := &Config{Quick: true, Out: &out2, Baseline: path, MaxRegressPct: 50}
+	GemmBench(c2)
+	if len(c2.Failures) != 0 {
+		t.Fatalf("self-comparison failed: %v", c2.Failures)
+	}
+}

@@ -54,7 +54,11 @@ func VariantOf(tA, tB Transpose) Variant {
 
 // flopCount accumulates 2·m·n·k for every GEMM call, mirroring the
 // paper's runtime FLOP measurement mechanism (§VI-C). It deliberately
-// counts only GEMM work, giving the same "exact lower bound" semantics.
+// counts only GEMM work. Note the streaming kernels skip inner updates
+// whose A element is exactly zero (the av == 0 fast path), so per call
+// the counter is an *upper bound* on the multiply-adds actually
+// executed; for the dense operands of the chemistry kernels the two
+// coincide to within noise.
 var flopCount atomic.Int64
 
 // FLOPs returns the GEMM floating-point operations counted so far.
@@ -72,10 +76,47 @@ func AddFLOPs(n int64) { flopCount.Add(n) }
 // across goroutines.
 const parallelThreshold = 1 << 17
 
+// Kernel selects the execution engine for a GEMM call.
+type Kernel int
+
+// The available GEMM engines.
+const (
+	// KernelAuto picks between streaming and packed by a size
+	// heuristic: small problems run the streaming loops (no packing
+	// cost), larger ones the packed engine. The autotuner refines this
+	// per shape by measurement.
+	KernelAuto Kernel = iota
+	// KernelStream runs the four variant streaming loops (the original
+	// engine): no operand copies, loop order chosen by variant.
+	KernelStream
+	// KernelPacked runs the packed, cache-tiled, register-blocked
+	// engine: operands are packed into contiguous micro-panels (the
+	// transpose folds into the pack, so all four variants reach one
+	// micro-kernel), then an mr×nr register block sweeps kc panels.
+	KernelPacked
+)
+
+var kernelNames = [...]string{"auto", "stream", "packed"}
+
+func (k Kernel) String() string { return kernelNames[k] }
+
+// packedThreshold is the m*n*k product above which KernelAuto prefers
+// the packed engine: below it the O(mk + kn) packing traffic is not
+// amortised by the O(mnk) arithmetic.
+const packedThreshold = 1 << 15
+
 // Gemm computes C = alpha·op(A)·op(B) + beta·C where op is controlled by
-// tA and tB. Dimensions: op(A) is m×k, op(B) is k×n, C is m×n.
-// The work is counted as 2·m·n·k FLOPs in the global counter.
+// tA and tB, choosing the engine automatically. Dimensions: op(A) is
+// m×k, op(B) is k×n, C is m×n. The work is counted as 2·m·n·k FLOPs in
+// the global counter.
 func Gemm(tA, tB Transpose, alpha float64, a, b *Mat, beta float64, c *Mat) {
+	GemmKernel(KernelAuto, tA, tB, alpha, a, b, beta, c)
+}
+
+// GemmKernel is Gemm with an explicit engine choice. KernelAuto applies
+// the size heuristic; KernelStream and KernelPacked force their engine
+// (used by the autotuner's per-shape arbitration and the benchmarks).
+func GemmKernel(kern Kernel, tA, tB Transpose, alpha float64, a, b *Mat, beta float64, c *Mat) {
 	m, k := a.Rows, a.Cols
 	if tA {
 		m, k = a.Cols, a.Rows
@@ -102,6 +143,17 @@ func Gemm(tA, tB Transpose, alpha float64, a, b *Mat, beta float64, c *Mat) {
 	}
 
 	work := int64(m) * int64(n) * int64(k)
+	if kern == KernelAuto {
+		kern = KernelStream
+		if work > packedThreshold {
+			kern = KernelPacked
+		}
+	}
+	if kern == KernelPacked {
+		gemmPacked(tA, tB, alpha, a, b, c)
+		return
+	}
+
 	nw := 1
 	if work > parallelThreshold {
 		nw = runtime.GOMAXPROCS(0)
@@ -198,8 +250,6 @@ const tnBlock = 64
 func gemmTN(alpha float64, a, b, c *Mat, lo, hi int) {
 	n := c.Cols
 	k := a.Rows // op(A) is m×k with A stored k×m
-	m := a.Cols
-	_ = m
 	for l0 := 0; l0 < k; l0 += tnBlock {
 		l1 := l0 + tnBlock
 		if l1 > k {

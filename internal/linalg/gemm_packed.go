@@ -1,0 +1,108 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+)
+
+// gemmPacked executes C += alpha·op(A)·op(B) via the packed,
+// register-blocked engine. Both operand transposes are folded into the
+// packing step, so all four variants (NN/NT/TN/TT) reach the same
+// orientation-free micro-kernel — the packed path has no variant spread
+// by construction.
+//
+// Decomposition (Goto/BLIS): C is tiled into a 2D grid of
+// mcBlock×ncBlock macro-tiles. Each tile is an independent task — the
+// parallel unit is the tile grid, not raw row ranges — and every task
+// owns disjoint elements of C, so no synchronisation is needed beyond
+// the final join. Within a task the inner dimension is swept in kcBlock
+// panels: pack A tile, pack B tile, then run the mr×nr micro-kernel
+// over the packed panels.
+//
+// beta is assumed already applied to C by the caller (Gemm does this
+// before dispatch), and alpha must be non-zero.
+func gemmPacked(tA, tB Transpose, alpha float64, a, b, c *Mat) {
+	m, n := c.Rows, c.Cols
+	k := a.Cols
+	if tA {
+		k = a.Rows
+	}
+
+	nIC := (m + mcBlock - 1) / mcBlock
+	nJC := (n + ncBlock - 1) / ncBlock
+	tiles := nIC * nJC
+
+	task := func(tile int) {
+		ic, jc := tile/nJC, tile%nJC
+		i0 := ic * mcBlock
+		mc := m - i0
+		if mc > mcBlock {
+			mc = mcBlock
+		}
+		j0 := jc * ncBlock
+		nc := n - j0
+		if nc > ncBlock {
+			nc = ncBlock
+		}
+
+		buf := packPool.Get().(*packBuf)
+		for l0 := 0; l0 < k; l0 += kcBlock {
+			kc := k - l0
+			if kc > kcBlock {
+				kc = kcBlock
+			}
+			packA(buf.a, a, tA, i0, mc, l0, kc)
+			packB(buf.b, b, tB, l0, kc, j0, nc)
+
+			// A micro-panel outer, B micro-panel inner: the kc×mr A
+			// panel stays L1-resident across the jp sweep while the
+			// narrower kc×nr B panels stream from L2 — half the cold
+			// traffic per micro-kernel call of the opposite nesting.
+			mPanels := (mc + mr - 1) / mr
+			for ip := 0; ip < mPanels; ip++ {
+				pap := buf.a[ip*kc*mr:]
+				ii := i0 + ip*mr
+				me := mc - ip*mr
+				if me > mr {
+					me = mr
+				}
+				microKernelRow(kc, pap, buf.b, alpha, c, ii, j0, me, nc)
+			}
+		}
+		packPool.Put(buf)
+	}
+
+	nw := 1
+	if int64(m)*int64(n)*int64(k) > parallelThreshold {
+		nw = runtime.GOMAXPROCS(0)
+		if nw > tiles {
+			nw = tiles
+		}
+	}
+	if nw <= 1 {
+		for t := 0; t < tiles; t++ {
+			task(t)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var next sync.Mutex
+	cursor := 0
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				next.Lock()
+				t := cursor
+				cursor++
+				next.Unlock()
+				if t >= tiles {
+					return
+				}
+				task(t)
+			}
+		}()
+	}
+	wg.Wait()
+}

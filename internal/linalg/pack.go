@@ -1,0 +1,174 @@
+package linalg
+
+import "sync"
+
+// Cache-blocking parameters for the packed GEMM path (gemm_packed.go).
+// The loop structure follows the classic Goto/BLIS decomposition: C is
+// tiled into mcBlock×ncBlock macro-tiles, the inner dimension is split
+// into kcBlock panels sized so one packed A panel (mcBlock×kcBlock) and
+// one packed B panel (kcBlock×ncBlock) stay resident in cache while the
+// register micro-kernel sweeps them.
+const (
+	mr = 4 // micro-kernel rows  (register block height)
+	nr = 2 // micro-kernel cols  (register block width)
+
+	mcBlock = 128 // rows of op(A) packed per macro-tile   (multiple of mr)
+	kcBlock = 256 // inner-dimension panel height
+	ncBlock = 256 // cols of op(B) packed per macro-tile   (multiple of nr)
+)
+
+// packBuf holds one worker's packing scratch: an A panel of up to
+// mcBlock×kcBlock and a B panel of up to kcBlock×ncBlock, both padded to
+// full micro-panels.
+type packBuf struct {
+	a []float64
+	b []float64
+}
+
+var packPool = sync.Pool{
+	New: func() interface{} {
+		return &packBuf{
+			a: make([]float64, mcBlock*kcBlock),
+			b: make([]float64, kcBlock*ncBlock),
+		}
+	},
+}
+
+// packA packs op(A)[i0:i0+mc, l0:l0+kc] into dst as ceil(mc/mr) row
+// micro-panels. Panel ip occupies dst[ip*kc*mr : (ip+1)*kc*mr] with
+// layout dst[l*mr+r] = op(A)(i0+ip*mr+r, l0+l); rows beyond mc are
+// zero-padded so the micro-kernel never needs a row mask. The transpose
+// is folded into the pack: after packing, the kernel is orientation-free.
+func packA(dst []float64, a *Mat, tA Transpose, i0, mc, l0, kc int) {
+	panels := (mc + mr - 1) / mr
+	if tA {
+		// op(A)(i,l) = A[l,i]: each k-step reads mr contiguous elements
+		// of one source row — the cheap direction.
+		for ip := 0; ip < panels; ip++ {
+			base := ip * kc * mr
+			i := i0 + ip*mr
+			rows := mc - ip*mr
+			if rows > mr {
+				rows = mr
+			}
+			for l := 0; l < kc; l++ {
+				src := a.Row(l0 + l)
+				d := dst[base+l*mr : base+l*mr+mr]
+				for r := 0; r < rows; r++ {
+					d[r] = src[i+r]
+				}
+				for r := rows; r < mr; r++ {
+					d[r] = 0
+				}
+			}
+		}
+		return
+	}
+	// op(A)(i,l) = A[i,l]: interleave mr source rows.
+	for ip := 0; ip < panels; ip++ {
+		base := ip * kc * mr
+		i := i0 + ip*mr
+		rows := mc - ip*mr
+		if rows > mr {
+			rows = mr
+		}
+		if rows >= mr {
+			// Full-height panel: one pass with sequential writes and
+			// four sequential read streams beats mr strided-write
+			// passes — packing is a visible cost on tall-skinny
+			// shapes, where it is O(mk) against O(mnk) with small n.
+			r0 := a.Row(i)[l0 : l0+kc]
+			r1 := a.Row(i + 1)[l0 : l0+kc]
+			r2 := a.Row(i + 2)[l0 : l0+kc]
+			r3 := a.Row(i + 3)[l0 : l0+kc]
+			d := dst[base : base+kc*mr]
+			for l, v := range r0 {
+				o := l * mr
+				d[o] = v
+				d[o+1] = r1[l]
+				d[o+2] = r2[l]
+				d[o+3] = r3[l]
+			}
+			continue
+		}
+		for r := 0; r < rows; r++ {
+			src := a.Row(i + r)[l0 : l0+kc]
+			for l, v := range src {
+				dst[base+l*mr+r] = v
+			}
+		}
+		for r := rows; r < mr; r++ {
+			for l := 0; l < kc; l++ {
+				dst[base+l*mr+r] = 0
+			}
+		}
+	}
+}
+
+// packB packs op(B)[l0:l0+kc, j0:j0+nc] into dst as ceil(nc/nr) column
+// micro-panels. Panel jp occupies dst[jp*kc*nr : (jp+1)*kc*nr] with
+// layout dst[l*nr+s] = op(B)(l0+l, j0+jp*nr+s); columns beyond nc are
+// zero-padded. As with packA, the transpose is folded into the pack.
+func packB(dst []float64, b *Mat, tB Transpose, l0, kc, j0, nc int) {
+	panels := (nc + nr - 1) / nr
+	if !tB {
+		// op(B)(l,j) = B[l,j]: each k-step reads nr contiguous elements.
+		for jp := 0; jp < panels; jp++ {
+			base := jp * kc * nr
+			j := j0 + jp*nr
+			cols := nc - jp*nr
+			if cols >= nr {
+				// Full-width panel: unrolled pair copy.
+				for l := 0; l < kc; l++ {
+					src := b.Row(l0 + l)
+					dst[base+l*nr] = src[j]
+					dst[base+l*nr+1] = src[j+1]
+				}
+				continue
+			}
+			for l := 0; l < kc; l++ {
+				src := b.Row(l0 + l)
+				d := dst[base+l*nr : base+l*nr+nr]
+				for s := 0; s < cols; s++ {
+					d[s] = src[j+s]
+				}
+				for s := cols; s < nr; s++ {
+					d[s] = 0
+				}
+			}
+		}
+		return
+	}
+	// op(B)(l,j) = B[j,l]: interleave nr source rows.
+	for jp := 0; jp < panels; jp++ {
+		base := jp * kc * nr
+		j := j0 + jp*nr
+		cols := nc - jp*nr
+		if cols > nr {
+			cols = nr
+		}
+		if cols >= nr {
+			// Full-width panel: one pass, two sequential read streams.
+			r0 := b.Row(j)[l0 : l0+kc]
+			r1 := b.Row(j + 1)[l0 : l0+kc]
+			d := dst[base : base+kc*nr]
+			for l, v := range r0 {
+				o := l * nr
+				d[o] = v
+				d[o+1] = r1[l]
+			}
+			continue
+		}
+		for s := 0; s < cols; s++ {
+			src := b.Row(j + s)[l0 : l0+kc]
+			for l, v := range src {
+				dst[base+l*nr+s] = v
+			}
+		}
+		for s := cols; s < nr; s++ {
+			for l := 0; l < kc; l++ {
+				dst[base+l*nr+s] = 0
+			}
+		}
+	}
+}

@@ -234,11 +234,12 @@ func RHF(g *molecule.Geometry, bs *basis.Set, opts Options) (*Result, error) {
 		f := fockBuild(d, co)
 		eElec := 0.5 * (linalg.Dot(d, res.H) + linalg.Dot(d, f))
 
-		// DIIS error FDS − SDF.
-		fd := linalg.MatMul(linalg.NoTrans, linalg.NoTrans, f, d)
-		fds := linalg.MatMul(linalg.NoTrans, linalg.NoTrans, fd, res.S)
-		sd := linalg.MatMul(linalg.NoTrans, linalg.NoTrans, res.S, d)
-		sdf := linalg.MatMul(linalg.NoTrans, linalg.NoTrans, sd, f)
+		// DIIS error FDS − SDF, routed through the tuner so the nbf²
+		// shapes join the per-shape engine arbitration.
+		fd := opts.Tuner.MatMul(linalg.NoTrans, linalg.NoTrans, f, d)
+		fds := opts.Tuner.MatMul(linalg.NoTrans, linalg.NoTrans, fd, res.S)
+		sd := opts.Tuner.MatMul(linalg.NoTrans, linalg.NoTrans, res.S, d)
+		sdf := opts.Tuner.MatMul(linalg.NoTrans, linalg.NoTrans, sd, f)
 		errMat := fds.Clone()
 		errMat.AxpyMat(-1, sdf)
 		maxErr := errMat.MaxAbs()
