@@ -8,7 +8,15 @@
 //	fragmd -in system.xyz [-mode energy|grad|md|bench] [-basis sto-3g|dzp]
 //	       [-atoms-per-monomer N] [-dimer-cut Å] [-trimer-cut Å]
 //	       [-steps N] [-dt fs] [-temp K] [-sync] [-workers N]
+//	       [-groups N] [-batch N] [-steal]
 //	       [-warm] [-skip-tol Å] [-max-skip N]
+//
+// Scheduler knobs: -workers sizes the evaluator pool (default
+// GOMAXPROCS); -groups/-batch/-steal engage the hierarchical
+// group-coordinator layer shared with the cluster simulator
+// (DESIGN.md §6) — batching amortises dispatch, stealing rebalances
+// uneven groups. The knobs change task placement only, never the
+// trajectory.
 //
 // Warm-start knobs (-warm, -skip-tol, -max-skip) enable incremental
 // evaluation across MD steps: -warm reuses each polymer's converged
@@ -74,7 +82,10 @@ func run(argv []string, out, errOut io.Writer) error {
 	dt := fs.Float64("dt", 0.5, "MD time step in fs")
 	temp := fs.Float64("temp", 150, "initial temperature in K")
 	sync := fs.Bool("sync", false, "use synchronous time steps")
-	workers := fs.Int("workers", 2, "worker goroutines")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	groups := fs.Int("groups", 0, "group coordinators between the scheduler and the workers (0/1 = flat)")
+	batch := fs.Int("batch", 0, "tasks per coordinator batch transfer (0/1 = single-task dispatch)")
+	steal := fs.Bool("steal", false, "enable work stealing between group coordinators")
 	scs := fs.Bool("scs", false, "report SCS-MP2 energies")
 	warm := fs.Bool("warm", false, "warm-start each polymer's SCF from its previous converged density")
 	skipTol := fs.Float64("skip-tol", 0, "skip re-evaluating polymers that moved less than this (Å, 0 = off; approximate)")
@@ -121,6 +132,7 @@ func run(argv []string, out, errOut io.Writer) error {
 	eval := &potential.RIMP2{Basis: *basisName, SCS: *scs}
 	engOpts := sched.Options{
 		Workers: *workers, Async: !*sync, Dt: *dt * chem.AtomicTimePerFs,
+		Groups: *groups, Batch: *batch, Steal: *steal,
 		WarmStart: *warm, SkipTol: *skipTol * chem.BohrPerAngstrom, MaxSkip: *maxSkip,
 	}
 	linalg.ResetFLOPs()

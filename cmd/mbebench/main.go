@@ -6,11 +6,18 @@
 //	mbebench -list
 //
 // Experiments: table1 fig1 table2 table3 fig3 table4 gemm autotune fig5
-// fig6 async warmstart fig7 fig8 table5 all
+// fig6 async warmstart hier fig7 fig8 table5 all
 //
 // By default workloads are shrunk to development-box scale; -full runs
 // the paper-size configurations (the exascale experiments remain
 // discrete-event simulations — see DESIGN.md §2).
+//
+// The simulated experiments (hier fig7 fig8 table5, and async's cluster
+// half) honour -seed and -jitter: -jitter adds ±fractional runtime noise
+// to the machine model's task costs and -seed makes those draws
+// reproducible run-to-run. Exception: hier substitutes ±10 % jitter when
+// -jitter is 0 (its work-stealing path needs load imbalance to exist)
+// and prints the value it used.
 //
 // The gemm experiment additionally honours -bench-json (write the
 // machine-readable GFLOP/s report, conventionally BENCH_gemm.json),
@@ -47,6 +54,7 @@ var experiments = []struct {
 	{"fig6", bench.Fig6, "NVE energy conservation with async time steps"},
 	{"async", bench.AsyncAblation, "async vs sync time-step latency (§VII-A)"},
 	{"warmstart", bench.WarmStartAblation, "cold vs warm-start SCF iterations and wall per AIMD step"},
+	{"hier", bench.Hier, "hierarchical group coordinators vs flat scheduler (§VII)"},
 	{"fig7", bench.Fig7, "strong scaling on Perlmutter/Frontier models"},
 	{"fig8", bench.Fig8, "weak scaling at 4 polymers/GCD"},
 	{"table5", bench.Table5, "record runs: million-electron urea, 2BEG latency"},
@@ -64,6 +72,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	benchJSON := fs.String("bench-json", "", "write the gemm GFLOP/s report to this path")
 	baseline := fs.String("baseline", "", "gate the gemm report against this committed baseline")
 	maxRegress := fs.Float64("max-regress", 25, "allowed GFLOP/s regression vs baseline, percent")
+	seed := fs.Int64("seed", 0, "cluster-simulator RNG seed for reproducible fig7/fig8/table5/hier runs (0 = default)")
+	jitter := fs.Float64("jitter", 0, "simulated task-runtime noise, fraction in [0,1) (0 = deterministic model; hier substitutes 0.1)")
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -88,6 +98,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		BenchJSON:     *benchJSON,
 		Baseline:      *baseline,
 		MaxRegressPct: *maxRegress,
+		Seed:          *seed,
+		Jitter:        *jitter,
 	}
 	runOne := func(name string) bool {
 		for _, e := range experiments {

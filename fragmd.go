@@ -166,7 +166,10 @@ type Berendsen = md.Berendsen
 type TrajectoryWriter = md.TrajectoryWriter
 
 // NewEngine creates the asynchronous (or, with Async=false, barrier-
-// synchronised) AIMD engine over a fragmentation and potential.
+// synchronised) AIMD engine over a fragmentation and potential. The
+// EngineOptions Groups/Batch/Steal knobs engage the hierarchical
+// group-coordinator scheduler shared with the cluster simulator
+// (DESIGN.md §6); Workers defaults to runtime.GOMAXPROCS(0).
 func NewEngine(f *Fragmentation, eval Evaluator, opts EngineOptions) (*Engine, error) {
 	return sched.New(f, eval, opts)
 }
@@ -175,7 +178,7 @@ func NewEngine(f *Fragmentation, eval Evaluator, opts EngineOptions) (*Engine, e
 // Maxwell–Boltzmann velocities, and run n asynchronous MBE3 AIMD steps.
 // dtFs is the time step in femtoseconds.
 func RunAIMD(f *Fragmentation, eval Evaluator, tempK, dtFs float64, n int, seed int64, obs func(StepStats)) (*MDState, []StepStats, error) {
-	eng, err := sched.New(f, eval, sched.Options{Workers: 2, Async: true, Dt: dtFs * chem.AtomicTimePerFs})
+	eng, err := sched.New(f, eval, sched.Options{Async: true, Dt: dtFs * chem.AtomicTimePerFs})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -34,6 +34,14 @@ type Config struct {
 	// baseline, in percent. 0 really means zero tolerance — the
 	// cmd/mbebench flag layer owns the 25 % default.
 	MaxRegressPct float64
+
+	// Seed seeds the cluster simulator's RNG for the simulated
+	// experiments (fig7, fig8, table5, async, hier) so runs are
+	// reproducible run-to-run; 0 selects the simulator default.
+	Seed int64
+	// Jitter adds uniform ±Jitter relative noise to simulated task
+	// runtimes (0 = the deterministic cost model).
+	Jitter float64
 	// Failures collects regression and I/O problems for the caller to
 	// turn into a non-zero exit (cmd/mbebench does).
 	Failures []string

@@ -191,12 +191,12 @@ func AsyncAblation(c *Config) {
 		{"2BEG analogue, 1024 Perlmutter nodes", cluster.FibrilWorkload(4, 53, 20, 12), cluster.Perlmutter(), 1024, 40},
 	}
 	for _, cs := range cases {
-		a, err := cluster.Simulate(cs.w, cs.m, cluster.Options{Nodes: cs.nodes, Steps: 5, Async: true})
+		a, err := cluster.Simulate(cs.w, cs.m, cluster.Options{Nodes: cs.nodes, Steps: 5, Async: true, Seed: c.Seed, Jitter: c.Jitter})
 		if err != nil {
 			c.printf("  error: %v\n", err)
 			continue
 		}
-		s, err := cluster.Simulate(cs.w, cs.m, cluster.Options{Nodes: cs.nodes, Steps: 5, Async: false})
+		s, err := cluster.Simulate(cs.w, cs.m, cluster.Options{Nodes: cs.nodes, Steps: 5, Async: false, Seed: c.Seed, Jitter: c.Jitter})
 		if err != nil {
 			c.printf("  error: %v\n", err)
 			continue

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/fragmd/fragmd/internal/chem"
+	"github.com/fragmd/fragmd/internal/cluster"
+	"github.com/fragmd/fragmd/internal/fragment"
+	"github.com/fragmd/fragmd/internal/md"
+	"github.com/fragmd/fragmd/internal/molecule"
+	"github.com/fragmd/fragmd/internal/potential"
+	"github.com/fragmd/fragmd/internal/sched"
+)
+
+// Hier sweeps the hierarchical coordinator (§VII / DESIGN.md §6) —
+// group-coordinator count × super→group batch size, with work stealing
+// — against the flat single-coordinator scheduler, in both backends of
+// the shared internal/coord policy core.
+//
+// The simulated workload is deliberately dispatch-bound: thousands of
+// single-molecule urea fragments (~1.4 ms each) against thousands of
+// GCDs saturate a flat serialised coordinator, which is exactly the
+// regime the paper's hierarchy exists for. The live in-process sweep
+// then shows the same knobs on a real trajectory, where the check is
+// physics: every configuration must reproduce the flat scheduler's
+// energies to ≤ 1e-10 Ha.
+func Hier(c *Config) {
+	// --- discrete-event backend: dispatch-bound workload sweep --------
+	nMol, nodes := 4000, 512
+	if !c.Quick {
+		nMol, nodes = 16000, 2048
+	}
+	w := cluster.UreaWorkload(nMol, 1, 4.0, 0)
+	m := cluster.Frontier()
+	// With Config.Jitter unset this experiment substitutes ±10 % noise
+	// (documented at the mbebench -jitter flag): a perfectly uniform
+	// deterministic workload has no load imbalance for the stealing
+	// path to correct. The header below reports the value used.
+	jitter := c.Jitter
+	if jitter == 0 {
+		jitter = 0.1
+	}
+	c.printf("hier — hierarchical group coordinators vs flat scheduler (machine simulation)\n\n")
+	c.printf("Workload: %s (single-molecule fragments, dispatch-bound)\n", w)
+	c.printf("Machine: %s, %d nodes (%d GCDs), jitter ±%.0f%%\n\n",
+		m.Name, nodes, nodes*m.GCDsPerNode, 100*jitter)
+
+	type cfgRow struct {
+		name          string
+		groups, batch int
+		steal         bool
+	}
+	rows := []cfgRow{
+		{"flat", 0, 0, false},
+		{"g4 b8", 4, 8, true},
+		{"g8 b16", 8, 16, true},
+		{"g8 b32", 8, 32, true},
+		{"g16 b32", 16, 32, true},
+	}
+	c.printf("%10s %10s %12s %10s %9s %8s %9s\n",
+		"config", "ms/step", "tasks/s", "coordutil", "batches", "steals", "speedup")
+	var flat *cluster.Result
+	var bestSpeedup, bestUtilDrop float64
+	for _, r := range rows {
+		res, err := cluster.Simulate(w, m, cluster.Options{
+			Nodes: nodes, Steps: 2, Async: true,
+			Groups: r.groups, Batch: r.batch, Steal: r.steal,
+			Seed: c.Seed, Jitter: jitter,
+		})
+		if err != nil {
+			c.printf("  error: %v\n", err)
+			return
+		}
+		if flat == nil {
+			flat = res
+		}
+		speedup := flat.AvgStep / res.AvgStep
+		c.printf("%10s %10.2f %12.0f %9.0f%% %9d %8d %8.2fx\n",
+			r.name, 1e3*res.AvgStep, res.Throughput, 100*res.CoordUtil,
+			res.Batches, res.Steals, speedup)
+		if r.groups > 0 {
+			if speedup > bestSpeedup {
+				bestSpeedup = speedup
+			}
+			if drop := flat.CoordUtil - res.CoordUtil; drop > bestUtilDrop {
+				bestUtilDrop = drop
+			}
+		}
+	}
+	c.printf("\nShape to verify: batching amortises the serialised super-coordinator\n")
+	c.printf("(utilisation down) and the group layer dispatches in parallel\n")
+	c.printf("(throughput up). Best hierarchy: %.2fx throughput, −%.0f points of\n",
+		bestSpeedup, 100*bestUtilDrop)
+	c.printf("coordinator utilisation vs flat.\n")
+	if bestSpeedup <= 1 || bestUtilDrop <= 0 {
+		c.fail("hierarchical dispatch did not beat the flat scheduler on a dispatch-bound workload")
+	}
+
+	// --- live in-process backend: same knobs, physics unchanged -------
+	g, monomers := molecule.BetaFibril(3, 4)
+	f, err := fragment.New(g, monomers, fragment.Options{
+		DimerCutoff:  22 * chem.BohrPerAngstrom,
+		TrimerCutoff: 9 * chem.BohrPerAngstrom,
+	})
+	if err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	delay := 0.004
+	if !c.Quick {
+		delay = 0.02
+	}
+	eval := &potential.LennardJones{Delay: delay}
+	steps := 3
+	run := func(groups, batch int, steal bool) ([]sched.StepStats, float64, error) {
+		eng, err := sched.New(f, eval, sched.Options{
+			Workers: 4, Async: true, Dt: 0.5 * chem.AtomicTimePerFs,
+			Groups: groups, Batch: batch, Steal: steal,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		state := md.NewState(f.Geom.Clone())
+		state.SampleVelocities(100, rand.New(rand.NewSource(7)))
+		start := timeNow()
+		stats, err := eng.Run(state, steps, nil)
+		return stats, timeSince(start), err
+	}
+	c.printf("\nLive in-process engine (β-fibril analogue, %d monomers, 4 workers):\n", len(monomers))
+	flatStats, flatWall, err := run(0, 0, false)
+	if err != nil {
+		c.printf("error: %v\n", err)
+		return
+	}
+	c.printf("%10s %10s %16s\n", "config", "s/run", "max|ΔEtot| vs flat")
+	c.printf("%10s %10.2f %16s\n", "flat", flatWall, "—")
+	for _, r := range rows[1:] {
+		stats, wall, err := run(r.groups, r.batch, r.steal)
+		if err != nil {
+			c.printf("error: %v\n", err)
+			return
+		}
+		var maxDev float64
+		for i := range stats {
+			if d := math.Abs(stats[i].Etot - flatStats[i].Etot); d > maxDev {
+				maxDev = d
+			}
+		}
+		c.printf("%10s %10.2f %15.1e\n", r.name, wall, maxDev)
+		if maxDev > 1e-10 {
+			c.fail("hierarchical scheduling changed the trajectory energies (live backend)")
+		}
+	}
+	c.printf("\nShape to verify: on a few-core host the live gain is bounded by CPU\n")
+	c.printf("capacity — the knobs change dispatch placement only, never the physics\n")
+	c.printf("(identical energies); the simulation above shows the at-scale effect.\n")
+}

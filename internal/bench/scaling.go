@@ -39,7 +39,7 @@ func runScaling(c *Config, w *cluster.Workload, m cluster.Machine, nodes []int, 
 	c.printf("%8s %10s %12s %10s %10s\n", "nodes", "s/step", "PFLOP/s", "% peak", "par.eff")
 	var base *cluster.Result
 	for _, n := range nodes {
-		r, err := cluster.Simulate(w, m, cluster.Options{Nodes: n, Steps: 3, Async: true})
+		r, err := cluster.Simulate(w, m, cluster.Options{Nodes: n, Steps: 3, Async: true, Seed: c.Seed, Jitter: c.Jitter})
 		if err != nil {
 			c.printf("  error at %d nodes: %v\n", n, err)
 			return
@@ -70,7 +70,7 @@ func Fig8(c *Config) {
 	for _, n := range nodes {
 		gcds := n * m.GCDsPerNode
 		w := cluster.UreaWorkloadPolymerTarget(4*gcds, 4, 15.3, 15.3)
-		r, err := cluster.Simulate(w, m, cluster.Options{Nodes: n, Steps: 3, Async: true})
+		r, err := cluster.Simulate(w, m, cluster.Options{Nodes: n, Steps: 3, Async: true, Seed: c.Seed, Jitter: c.Jitter})
 		if err != nil {
 			c.printf("  error at %d nodes: %v\n", n, err)
 			return
@@ -108,7 +108,7 @@ func Table5(c *Config) {
 	m := cluster.Frontier()
 	for _, s := range specs {
 		w := cluster.UreaWorkload(s.mols, 4, 15.3, 15.3)
-		r, err := cluster.Simulate(w, m, cluster.Options{Nodes: s.nodes, Steps: 3, Async: true})
+		r, err := cluster.Simulate(w, m, cluster.Options{Nodes: s.nodes, Steps: 3, Async: true, Seed: c.Seed, Jitter: c.Jitter})
 		if err != nil {
 			c.printf("  error: %v\n", err)
 			continue
@@ -121,7 +121,7 @@ func Table5(c *Config) {
 	}
 
 	w2beg := cluster.FibrilWorkload(4, 53, 20, 12)
-	r, err := cluster.Simulate(w2beg, cluster.Perlmutter(), cluster.Options{Nodes: 1024, Steps: 5, Async: true})
+	r, err := cluster.Simulate(w2beg, cluster.Perlmutter(), cluster.Options{Nodes: 1024, Steps: 5, Async: true, Seed: c.Seed, Jitter: c.Jitter})
 	if err != nil {
 		c.printf("  error: %v\n", err)
 		return

@@ -153,6 +153,15 @@ func TestSimValidation(t *testing.T) {
 	if _, err := Simulate(w, m, Options{Nodes: 99999, Steps: 1}); err == nil {
 		t.Error("expected too-many-nodes error")
 	}
+	if _, err := Simulate(w, m, Options{Nodes: 10, Steps: 1, Groups: -1}); err == nil {
+		t.Error("expected negative-groups error")
+	}
+	if _, err := Simulate(w, m, Options{Nodes: 10, Steps: 1, Batch: -3}); err == nil {
+		t.Error("expected negative-batch error")
+	}
+	if _, err := Simulate(w, m, Options{Nodes: 10, Steps: 1, Jitter: 1.5}); err == nil {
+		t.Error("expected out-of-range jitter error")
+	}
 }
 
 func TestSimConservationInvariants(t *testing.T) {
@@ -188,7 +197,7 @@ func TestFibrilBondedDependencies(t *testing.T) {
 	// touch sets.
 	found := false
 	for pi, p := range w.Polymers {
-		if p.Order == 1 && len(w.touch[pi]) >= 3 {
+		if p.Order == 1 && len(w.Graph().Touch[pi]) >= 3 {
 			found = true
 			_ = p
 			break
@@ -196,5 +205,104 @@ func TestFibrilBondedDependencies(t *testing.T) {
 	}
 	if !found {
 		t.Error("no monomer task carries bonded-neighbour dependencies")
+	}
+}
+
+// dispatchBound builds a workload of thousands of tiny single-molecule
+// fragments with no dimers (cutoff below the 4.59 Å lattice
+// nearest-neighbour distance): ~1.4 ms tasks against ≥1024 workers make
+// the flat serialised coordinator the bottleneck.
+func dispatchBound() *Workload { return UreaWorkload(4000, 1, 4.0, 0) }
+
+// The point of the hierarchy: on a dispatch-bound workload, batched
+// group coordinators must cut super-coordinator utilisation and raise
+// task throughput versus the flat scheduler.
+func TestHierarchicalBeatsFlatWhenDispatchBound(t *testing.T) {
+	w := dispatchBound()
+	m := Frontier()
+	flat, err := Simulate(w, m, Options{Nodes: 512, Steps: 2, Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := Simulate(w, m, Options{Nodes: 512, Steps: 2, Async: true,
+		Groups: 8, Batch: 32, Steal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("flat: %.1f ms/step, util %.0f%%, %.0f tasks/s | hier: %.1f ms/step, util %.0f%%, %.0f tasks/s (%d batches, %d steals)",
+		1e3*flat.AvgStep, 100*flat.CoordUtil, flat.Throughput,
+		1e3*hier.AvgStep, 100*hier.CoordUtil, hier.Throughput, hier.Batches, hier.Steals)
+	if flat.CoordUtil < 0.5 {
+		t.Fatalf("flat coordinator utilisation %.2f — workload is not dispatch-bound, test is vacuous", flat.CoordUtil)
+	}
+	if hier.Throughput <= flat.Throughput {
+		t.Errorf("hierarchical throughput %.0f tasks/s not above flat %.0f", hier.Throughput, flat.Throughput)
+	}
+	if hier.CoordUtil >= flat.CoordUtil {
+		t.Errorf("hierarchical coordinator utilisation %.2f not below flat %.2f", hier.CoordUtil, flat.CoordUtil)
+	}
+	if hier.Batches >= flat.Batches {
+		t.Errorf("batching did not reduce super-coordinator transfers: %d vs %d", hier.Batches, flat.Batches)
+	}
+	// Same physics either way: identical FLOPs executed.
+	if math.Abs(hier.TotalFLOPs-flat.TotalFLOPs) > 1e-6*flat.TotalFLOPs {
+		t.Errorf("hier executed %g FLOPs, flat %g — schedulers must do identical work", hier.TotalFLOPs, flat.TotalFLOPs)
+	}
+}
+
+// Seeded jitter must be reproducible run-to-run and actually move the
+// clock when the seed changes.
+func TestJitterSeedReproducible(t *testing.T) {
+	w := UreaWorkload(200, 4, 15.3, 15.3)
+	m := Frontier()
+	run := func(seed int64) *Result {
+		r, err := Simulate(w, m, Options{Nodes: 8, Steps: 2, Async: true, Jitter: 0.2, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(42), run(42)
+	if a.Makespan != b.Makespan {
+		t.Errorf("same seed, different makespans: %.9f vs %.9f", a.Makespan, b.Makespan)
+	}
+	if c := run(43); c.Makespan == a.Makespan {
+		t.Errorf("different seeds produced identical makespan %.9f", a.Makespan)
+	}
+	// Zero jitter ignores the seed entirely: the deterministic model.
+	d1, err := Simulate(w, m, Options{Nodes: 8, Steps: 2, Async: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Simulate(w, m, Options{Nodes: 8, Steps: 2, Async: true, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Makespan != d2.Makespan {
+		t.Errorf("deterministic model moved with the seed: %.9f vs %.9f", d1.Makespan, d2.Makespan)
+	}
+}
+
+// Work stealing under jitter: with imbalanced groups the simulator must
+// record steals, and stealing must not lose or duplicate work.
+func TestWorkStealingActivates(t *testing.T) {
+	w := dispatchBound()
+	m := Frontier()
+	r, err := Simulate(w, m, Options{Nodes: 64, Steps: 2, Async: true,
+		Groups: 8, Batch: 64, Steal: true, Jitter: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Steals == 0 {
+		t.Error("no steals recorded on an imbalanced hierarchical run")
+	}
+	var want float64
+	for _, p := range w.Polymers {
+		nbf, nocc, naux := w.Size(p)
+		want += RIMP2GradientFLOPs(nbf, nocc, naux)
+	}
+	want *= float64(r.Steps)
+	if math.Abs(r.TotalFLOPs-want)/want > 1e-12 {
+		t.Errorf("stealing lost work: %g FLOPs executed, want %g", r.TotalFLOPs, want)
 	}
 }

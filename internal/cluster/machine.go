@@ -8,12 +8,16 @@
 // is a serialised resource with a per-assignment service time plus a
 // dispatch round-trip latency.
 //
-// The simulator executes the same asynchronous time-step algorithm as
-// package sched (priority queue ordered by distance-to-reference then
-// size, per-monomer dependency release, optional global barrier), which
-// is what lets it regenerate the shapes of Fig. 7 (strong scaling),
-// Fig. 8 (weak scaling), Table V (sustained PFLOP/s) and the §VII-A
-// async-vs-sync latency gains.
+// The simulator is the discrete-event backend of the shared scheduling
+// core in internal/coord — the *same* policy implementation (priority
+// queue ordered by distance-to-reference then size, per-monomer
+// dependency release, optional global barrier, hierarchical group
+// coordinators with batched dispatch and work stealing) that drives the
+// live engine in package sched. That is what lets it regenerate the
+// shapes of Fig. 7 (strong scaling), Fig. 8 (weak scaling), Table V
+// (sustained PFLOP/s) and the §VII-A async-vs-sync latency gains, and
+// lets scheduling-policy changes be A/B'd at simulated machine scale
+// before they run a live trajectory.
 package cluster
 
 import "math"
@@ -37,6 +41,32 @@ type Machine struct {
 	// it produces the dynamic-load-balancing overhead the paper observes
 	// at 4,096-node weak scaling (seconds).
 	CoordService float64
+	// GroupService and GroupLatency model the group-coordinator layer
+	// of the hierarchical scheduler (DESIGN.md §6): the serialised
+	// per-task service time of one group coordinator and its local
+	// group→worker latency. Zero selects the defaults CoordService and
+	// DispatchLatency/8 (group coordinators run the same bookkeeping on
+	// the same hardware, but dispatch within their partition of the
+	// interconnect).
+	GroupService float64
+	GroupLatency float64
+}
+
+// groupService returns the effective group-coordinator per-task service
+// time.
+func (m Machine) groupService() float64 {
+	if m.GroupService > 0 {
+		return m.GroupService
+	}
+	return m.CoordService
+}
+
+// groupLatency returns the effective group→worker dispatch latency.
+func (m Machine) groupLatency() float64 {
+	if m.GroupLatency > 0 {
+		return m.GroupLatency
+	}
+	return m.DispatchLatency / 8
 }
 
 // Frontier returns the OLCF Frontier model: 9,408 nodes × 4 MI250X

@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
+
+	"github.com/fragmd/fragmd/internal/coord"
 )
 
 // Options configures one simulation run.
@@ -16,6 +19,28 @@ type Options struct {
 	// Async enables the per-monomer asynchronous time-step scheme;
 	// false inserts a global barrier between steps.
 	Async bool
+
+	// Groups is the number of group coordinators of the hierarchical
+	// scheduler (≤ 1 = flat super-coordinator, the paper's baseline);
+	// Batch is the number of tasks per super→group transfer (≤ 1 =
+	// single-task dispatch); Steal enables work stealing between group
+	// queues. See DESIGN.md §6.
+	Groups int
+	Batch  int
+	Steal  bool
+
+	// Jitter adds uniform ±Jitter relative noise to every task's
+	// modelled execution time (0 ≤ Jitter < 1; 0 = the deterministic
+	// cost model). Non-zero jitter creates the load imbalance that
+	// exercises dynamic balancing and work stealing.
+	Jitter float64
+	// Seed seeds the jitter RNG so runs are reproducible run-to-run;
+	// 0 selects the default seed 1.
+	Seed int64
+
+	// TraceDispatch, when non-nil, observes every dispatch in order —
+	// the policy-equivalence test hook shared with the live engine.
+	TraceDispatch func(t coord.Task, m coord.DispatchMeta)
 }
 
 // Result reports a simulated run.
@@ -31,45 +56,20 @@ type Result struct {
 	PFLOPS       float64 // sustained TotalFLOPs / Makespan
 	PeakFraction float64 // PFLOPS / machine sustained peak at this node count
 	NPolymers    int
-}
 
-// simTask is a queued polymer evaluation.
-type simTask struct {
-	poly int32
-	step int32
-}
-
-// readyHeap orders tasks by (step, distance to reference asc, order desc).
-type readyHeap struct {
-	items []simTask
-	w     *Workload
-}
-
-func (h *readyHeap) Len() int { return len(h.items) }
-func (h *readyHeap) Less(i, j int) bool {
-	a, b := h.items[i], h.items[j]
-	if a.step != b.step {
-		return a.step < b.step
-	}
-	da, db := h.w.prioDist[a.poly], h.w.prioDist[b.poly]
-	if da != db {
-		return da < db
-	}
-	return h.w.Polymers[a.poly].Order > h.w.Polymers[b.poly].Order
-}
-func (h *readyHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *readyHeap) Push(x interface{}) { h.items = append(h.items, x.(simTask)) }
-func (h *readyHeap) Pop() interface{} {
-	old := h.items
-	it := old[len(old)-1]
-	h.items = old[:len(old)-1]
-	return it
+	// Coordination diagnostics of the hierarchical scheduler.
+	CoordBusy  float64 // seconds the serialised super-coordinator was occupied
+	CoordUtil  float64 // CoordBusy / Makespan
+	Batches    int     // super→group batch transfers
+	Steals     int     // inter-group work steals
+	Throughput float64 // completed tasks per second of makespan
 }
 
 // doneEvent is a completion in the running set.
 type doneEvent struct {
-	t    float64
-	task simTask
+	t      float64
+	task   coord.Task
+	worker int
 }
 
 type eventHeap []doneEvent
@@ -85,7 +85,17 @@ func (h *eventHeap) Pop() interface{} {
 	return it
 }
 
-// Simulate runs the discrete-event simulation of w on nodes of m.
+// Simulate runs the discrete-event simulation of w on nodes of m,
+// driving the shared internal/coord scheduling policy through a
+// simulated-clock backend.
+//
+// Cost model: with a flat scheduler every dispatch serialises on the
+// super-coordinator for CoordService and pays DispatchLatency to reach
+// its worker. Under the hierarchy the super-coordinator is charged once
+// per *batch* (amortising its serialised service across Batch tasks),
+// the batch lands at its group coordinator after DispatchLatency, and
+// each task then pays the group's own GroupService/GroupLatency — group
+// coordinators serialise independently, in parallel.
 func Simulate(w *Workload, m Machine, opt Options) (*Result, error) {
 	if opt.Nodes <= 0 || opt.Nodes > m.Nodes {
 		return nil, fmt.Errorf("cluster: node count %d outside 1..%d", opt.Nodes, m.Nodes)
@@ -93,10 +103,20 @@ func Simulate(w *Workload, m Machine, opt Options) (*Result, error) {
 	if opt.Steps <= 0 {
 		return nil, errors.New("cluster: need at least one step")
 	}
+	if opt.Jitter < 0 || opt.Jitter >= 1 {
+		return nil, fmt.Errorf("cluster: jitter %g outside 0..1", opt.Jitter)
+	}
 	nWorkers := opt.Nodes * m.GCDsPerNode
 	nPoly := len(w.Polymers)
-	nMono := len(w.Monomers)
-	steps := int32(opt.Steps)
+
+	pol, err := coord.NewPolicy(w.Graph(), coord.Options{
+		Steps: opt.Steps, Workers: nWorkers, Sync: !opt.Async,
+		Groups: opt.Groups, Batch: opt.Batch, Steal: opt.Steal,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	hier := coord.Options{Groups: pol.Groups(), Batch: pol.Batch()}.Hierarchical()
 
 	// Per-polymer cost (static workload: same every step).
 	secs := make([]float64, nPoly)
@@ -105,46 +125,18 @@ func Simulate(w *Workload, m Machine, opt Options) (*Result, error) {
 		nbf, nocc, naux := w.Size(p)
 		secs[pi], flops[pi] = m.Seconds(nbf, nocc, naux)
 	}
-
-	monoStep := make([]int32, nMono)
-	monoPending := make([]int32, nMono)
-	for mi := range monoPending {
-		monoPending[mi] = int32(len(w.touching[mi]))
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
 	}
-	nextStep := make([]int32, nPoly)
-	var globalMin int32
-
-	ready := &readyHeap{w: w}
-	heap.Init(ready)
-
-	tryEnqueue := func(pi int32) {
-		for nextStep[pi] < steps {
-			t := nextStep[pi]
-			ok := true
-			for _, mi := range w.touch[pi] {
-				if monoStep[mi] < t {
-					ok = false
-					break
-				}
-			}
-			if ok && !opt.Async && globalMin < t {
-				ok = false
-			}
-			if !ok {
-				return
-			}
-			heap.Push(ready, simTask{poly: pi, step: t})
-			nextStep[pi]++
-		}
-	}
-	for pi := int32(0); pi < int32(nPoly); pi++ {
-		tryEnqueue(pi)
-	}
+	rng := rand.New(rand.NewSource(seed))
 
 	running := &eventHeap{}
 	heap.Init(running)
-	idle := nWorkers
-	var now, coordFree float64
+	var now, superFree, superBusy float64
+	groupFree := make([]float64, pol.Groups())  // group coordinator serialised resource
+	groupReady := make([]float64, pol.Groups()) // when the group's latest batch lands
+	gsvc, glat := m.groupService(), m.groupLatency()
 	firstStart := make([]float64, opt.Steps)
 	lastDone := make([]float64, opt.Steps)
 	for t := range firstStart {
@@ -152,63 +144,64 @@ func Simulate(w *Workload, m Machine, opt Options) (*Result, error) {
 	}
 	var totalFlops float64
 	completions := 0
-	target := nPoly * opt.Steps
 
-	advance := func(mi int32, t int32) {
-		monoStep[mi] = t + 1
-		monoPending[mi] = int32(len(w.touching[mi]))
-		if !opt.Async {
-			newMin := monoStep[mi]
-			for _, s := range monoStep {
-				if s < newMin {
-					newMin = s
-				}
+	backend := &coord.BackendFuncs{
+		NumWorkers: nWorkers,
+		DispatchFn: func(wk int, t coord.Task, meta coord.DispatchMeta) {
+			if opt.TraceDispatch != nil {
+				opt.TraceDispatch(t, meta)
 			}
-			if newMin > globalMin {
-				globalMin = newMin
-				for pi := int32(0); pi < int32(nPoly); pi++ {
-					tryEnqueue(pi)
+			var begin float64
+			if !hier {
+				start := math.Max(now, superFree)
+				superFree = start + m.CoordService
+				superBusy += m.CoordService
+				begin = start + m.DispatchLatency
+			} else {
+				g := meta.Group
+				if meta.Refill > 0 {
+					// One serialised super-coordinator assignment for the
+					// whole batch; the batch reaches the group after the
+					// dispatch round trip.
+					start := math.Max(now, superFree)
+					superFree = start + m.CoordService
+					superBusy += m.CoordService
+					if arr := start + m.DispatchLatency; arr > groupReady[g] {
+						groupReady[g] = arr
+					}
 				}
+				if meta.Stolen > 0 {
+					// Peer-to-peer transfer: one inter-group round trip.
+					if arr := now + m.DispatchLatency; arr > groupReady[g] {
+						groupReady[g] = arr
+					}
+				}
+				start := math.Max(now, math.Max(groupReady[g], groupFree[g]))
+				groupFree[g] = start + gsvc
+				begin = start + glat
 			}
-			return
-		}
-		for _, pi := range w.touching[mi] {
-			tryEnqueue(pi)
-		}
+			dur := secs[t.Poly]
+			if opt.Jitter > 0 {
+				dur *= 1 + opt.Jitter*(2*rng.Float64()-1)
+			}
+			if begin < firstStart[t.Step] {
+				firstStart[t.Step] = begin
+			}
+			heap.Push(running, doneEvent{t: begin + dur, task: t, worker: wk})
+		},
+		AwaitFn: func() (coord.Completion, error) {
+			ev := heap.Pop(running).(doneEvent)
+			now = ev.t
+			completions++
+			if now > lastDone[ev.task.Step] {
+				lastDone[ev.task.Step] = now
+			}
+			totalFlops += flops[ev.task.Poly]
+			return coord.Completion{Worker: ev.worker, Task: ev.task}, nil
+		},
 	}
-
-	for completions < target {
-		// Dispatch while workers and tasks are available.
-		for idle > 0 && ready.Len() > 0 {
-			task := heap.Pop(ready).(simTask)
-			start := math.Max(now, coordFree)
-			coordFree = start + m.CoordService
-			begin := start + m.DispatchLatency
-			end := begin + secs[task.poly]
-			if begin < firstStart[task.step] {
-				firstStart[task.step] = begin
-			}
-			heap.Push(running, doneEvent{t: end, task: task})
-			idle--
-		}
-		if running.Len() == 0 {
-			return nil, errors.New("cluster: deadlock — no running tasks")
-		}
-		ev := heap.Pop(running).(doneEvent)
-		now = ev.t
-		idle++
-		completions++
-		t := ev.task.step
-		if now > lastDone[t] {
-			lastDone[t] = now
-		}
-		totalFlops += flops[ev.task.poly]
-		for _, mi := range w.touch[ev.task.poly] {
-			monoPending[mi]--
-			if monoPending[mi] == 0 && monoStep[mi] == t {
-				advance(mi, t)
-			}
-		}
+	if err := coord.Run(pol, backend, nil); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
 	}
 
 	res := &Result{
@@ -219,6 +212,9 @@ func Simulate(w *Workload, m Machine, opt Options) (*Result, error) {
 		Makespan:   now,
 		TotalFLOPs: totalFlops,
 		NPolymers:  nPoly,
+		CoordBusy:  superBusy,
+		Batches:    pol.Batches(),
+		Steals:     pol.Steals(),
 	}
 	for t := 0; t < opt.Steps; t++ {
 		res.StepSeconds = append(res.StepSeconds, lastDone[t]-firstStart[t])
@@ -229,5 +225,7 @@ func Simulate(w *Workload, m Machine, opt Options) (*Result, error) {
 	res.AvgStep = now / float64(opt.Steps)
 	res.PFLOPS = totalFlops / now / 1e15
 	res.PeakFraction = res.PFLOPS / m.TotalPeakPF(opt.Nodes)
+	res.CoordUtil = superBusy / now
+	res.Throughput = float64(completions) / now
 	return res, nil
 }

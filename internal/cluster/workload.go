@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"math"
+
+	"github.com/fragmd/fragmd/internal/coord"
 )
 
 // MonomerSpec describes one monomer of a simulated workload: where it
@@ -34,11 +36,18 @@ type Workload struct {
 	DimerCut  float64 // Å
 	TrimerCut float64 // Å
 
-	touch    [][]int32 // polymer → dependency monomers (members ∪ bonded)
-	touching [][]int32 // monomer → polymers touching it
-	prioDist []float64 // polymer → min distance to reference monomer
-	refMono  int
+	graph   *coord.Graph // shared scheduling task graph (internal/coord)
+	refMono int
 }
+
+// Graph returns the workload's scheduling task graph in the shared
+// internal/coord representation: per-polymer members, dependency touch
+// sets (members ∪ bonded neighbours) and queue priorities.
+func (w *Workload) Graph() *coord.Graph { return w.graph }
+
+// RefMono returns the reference monomer the queue priorities are
+// anchored to (the monomer farthest from the system centroid).
+func (w *Workload) RefMono() int { return w.refMono }
 
 // NewWorkload enumerates monomers, dimers within dimerCut and trimers
 // whose three pairwise centroid distances are within trimerCut, using a
@@ -119,13 +128,14 @@ func NewWorkload(monomers []MonomerSpec, dimerCut, trimerCut float64) *Workload 
 	return w
 }
 
-// buildDependencies computes touch sets, per-monomer polymer lists, the
-// reference monomer and queue priorities.
+// buildDependencies computes touch sets, queue priorities and the
+// reference monomer, assembling the shared internal/coord task graph.
 func (w *Workload) buildDependencies() {
 	n := len(w.Monomers)
-	w.touch = make([][]int32, len(w.Polymers))
-	w.touching = make([][]int32, n)
+	members := make([][]int32, len(w.Polymers))
+	touch := make([][]int32, len(w.Polymers))
 	for pi, p := range w.Polymers {
+		members[pi] = p.members()
 		seen := map[int32]bool{}
 		var t []int32
 		for _, m := range p.members() {
@@ -140,12 +150,10 @@ func (w *Workload) buildDependencies() {
 				}
 			}
 		}
-		w.touch[pi] = t
-		for _, m := range t {
-			w.touching[m] = append(w.touching[m], int32(pi))
-		}
+		touch[pi] = t
 	}
-	// Reference monomer: farthest from system centroid.
+	// Reference monomer (farthest from the system centroid) and queue
+	// priorities via the shared policy computation (DESIGN.md §6).
 	var c [3]float64
 	for _, m := range w.Monomers {
 		for k := 0; k < 3; k++ {
@@ -155,24 +163,16 @@ func (w *Workload) buildDependencies() {
 	for k := 0; k < 3; k++ {
 		c[k] /= float64(n)
 	}
-	best := -1.0
-	for i, m := range w.Monomers {
-		if d := dist3(m.Centroid, c); d > best {
-			best = d
-			w.refMono = i
-		}
+	var dist []float64
+	w.refMono, dist = coord.Priorities(n, members,
+		func(mi int) [3]float64 { return w.Monomers[mi].Centroid }, c, -1)
+	g, err := coord.NewGraph(n, members, touch, dist)
+	if err != nil {
+		// The workload enumerations above construct consistent inputs;
+		// failing here is a programming error, not a user error.
+		panic(fmt.Sprintf("cluster: inconsistent workload graph: %v", err))
 	}
-	refC := w.Monomers[w.refMono].Centroid
-	w.prioDist = make([]float64, len(w.Polymers))
-	for pi, p := range w.Polymers {
-		minD := math.Inf(1)
-		for _, m := range p.members() {
-			if d := dist3(w.Monomers[m].Centroid, refC); d < minD {
-				minD = d
-			}
-		}
-		w.prioDist[pi] = minD
-	}
+	w.graph = g
 }
 
 // Size returns the fragment dimensions of a polymer (sums over members).

@@ -1,0 +1,395 @@
+// Package coord is the backend-agnostic scheduling core shared by the
+// in-process live engine (internal/sched) and the discrete-event
+// cluster simulator (internal/cluster). It owns the paper's scheduling
+// policy exactly once:
+//
+//   - a super-coordinator ready queue ordered by (time step, distance of
+//     the polymer's closest monomer to a reference monomer, decreasing
+//     polymer size), with a final deterministic tie-break on the
+//     polymer's monomer tuple so every backend dispatches the same
+//     workload in the same order;
+//   - dependency tracking over fragment touch sets (a polymer of step t
+//     becomes ready when every monomer it touches has advanced to t;
+//     H-cap partners are part of the touch set, §V-F);
+//   - per-monomer time-step release (a monomer advances the moment all
+//     polymers touching it complete), with an optional global barrier
+//     for synchronous mode;
+//   - the paper's coordinator hierarchy (§VII): group coordinators that
+//     receive *batches* of tasks from the super-coordinator — amortising
+//     the serialised super-coordinator over Batch tasks — and feed their
+//     local workers, with optional work stealing between groups.
+//
+// Backends drive the policy through the Backend interface (dispatch /
+// complete / clock): the live engine's Await blocks on a result
+// channel, the simulator's pops its event heap and advances simulated
+// time. The Policy itself is a single-threaded state machine; Run
+// serialises all calls on the driver goroutine.
+package coord
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Task is one polymer evaluation at one time step.
+type Task struct {
+	Poly int32
+	Step int32
+}
+
+// Graph is the static task graph of a fragment workload: one node per
+// (polymer, step), with edges induced by the per-polymer monomer
+// dependency sets.
+type Graph struct {
+	// NMono is the number of monomers.
+	NMono int
+	// Members[pi] lists polymer pi's constituent monomers in ascending
+	// order; it doubles as the polymer's canonical identity for
+	// deterministic tie-breaking (len(Members[pi]) is the MBE order).
+	Members [][]int32
+	// Touch[pi] is the full dependency set of polymer pi: its members
+	// plus the monomers owning its H-cap partner atoms
+	// (fragment.TouchSet).
+	Touch [][]int32
+	// Touching[mi] lists the polymers whose touch sets contain monomer
+	// mi (computed by NewGraph).
+	Touching [][]int32
+	// Dist[pi] is the distance from polymer pi's closest monomer to the
+	// reference monomer — the paper's queue-priority key.
+	Dist []float64
+}
+
+// NewGraph validates the inputs and computes the monomer→polymer
+// reverse index.
+func NewGraph(nMono int, members, touch [][]int32, dist []float64) (*Graph, error) {
+	if len(members) != len(touch) || len(members) != len(dist) {
+		return nil, fmt.Errorf("coord: %d members, %d touch sets, %d priorities — lengths must match",
+			len(members), len(touch), len(dist))
+	}
+	if nMono <= 0 {
+		return nil, errors.New("coord: need at least one monomer")
+	}
+	g := &Graph{NMono: nMono, Members: members, Touch: touch, Dist: dist}
+	g.Touching = make([][]int32, nMono)
+	for pi, ts := range touch {
+		if len(members[pi]) == 0 {
+			return nil, fmt.Errorf("coord: polymer %d has no members", pi)
+		}
+		for _, mi := range ts {
+			if mi < 0 || int(mi) >= nMono {
+				return nil, fmt.Errorf("coord: polymer %d touches monomer %d outside 0..%d", pi, mi, nMono-1)
+			}
+			g.Touching[mi] = append(g.Touching[mi], int32(pi))
+		}
+	}
+	return g, nil
+}
+
+// NPoly returns the number of polymers.
+func (g *Graph) NPoly() int { return len(g.Members) }
+
+// Priorities computes the queue-priority inputs of the paper's ordering
+// for nMono monomers with the given centroids: the reference monomer
+// (ref if ≥ 0; otherwise the monomer farthest from sysCentroid — "an
+// arbitrary fragment towards an extremity") and, for every polymer, the
+// distance of its closest member to that reference. Both backends build
+// their Graph.Dist through this one function.
+func Priorities(nMono int, members [][]int32, centroid func(mono int) [3]float64, sysCentroid [3]float64, ref int) (refMono int, dist []float64) {
+	refMono = ref
+	if refMono < 0 {
+		best := -1.0
+		for m := 0; m < nMono; m++ {
+			if d := dist3(centroid(m), sysCentroid); d > best {
+				best = d
+				refMono = m
+			}
+		}
+	}
+	refC := centroid(refMono)
+	dist = make([]float64, len(members))
+	for pi, ms := range members {
+		minD := math.Inf(1)
+		for _, m := range ms {
+			if d := dist3(centroid(int(m)), refC); d < minD {
+				minD = d
+			}
+		}
+		dist[pi] = minD
+	}
+	return refMono, dist
+}
+
+func dist3(a, b [3]float64) float64 {
+	dx, dy, dz := a[0]-b[0], a[1]-b[1], a[2]-b[2]
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// Options configures a Policy.
+type Options struct {
+	// Steps is the number of time steps (≥ 1).
+	Steps int
+	// Workers is the number of backend workers (≥ 1); the policy maps
+	// worker w to group w·Groups/Workers (contiguous blocks).
+	Workers int
+	// Sync inserts a global barrier between time steps instead of the
+	// per-monomer release.
+	Sync bool
+	// Groups is the number of group coordinators; values ≤ 1 (and any
+	// value when Workers == 1) collapse to a single group. Groups is
+	// clamped to Workers.
+	Groups int
+	// Batch is the number of tasks transferred per super-coordinator →
+	// group-coordinator refill; ≤ 1 means single-task transfers (the
+	// flat scheduler's behaviour).
+	Batch int
+	// Steal lets a group whose queue and the super-coordinator's are
+	// both empty steal the lower-priority half of the fullest peer
+	// group's queue.
+	Steal bool
+}
+
+// Hierarchical reports whether the options engage the group-coordinator
+// layer (more than one group, or multi-task batches).
+func (o Options) Hierarchical() bool { return o.Groups > 1 || o.Batch > 1 }
+
+// DispatchMeta describes the coordination events behind one dispatch;
+// cost-modelling backends charge for them.
+type DispatchMeta struct {
+	// Group is the group coordinator the task was dispatched through.
+	Group int
+	// Refill, when > 0, is the size of the super→group batch transfer
+	// that immediately preceded this dispatch.
+	Refill int
+	// Stolen, when > 0, is the number of tasks this group just stole
+	// from a peer.
+	Stolen int
+}
+
+// Policy is the single-threaded scheduling state machine. All methods
+// must be called from one goroutine (Run's driver loop).
+type Policy struct {
+	g    *Graph
+	opts Options
+
+	groups int
+	batch  int
+
+	ready taskHeap // super-coordinator priority queue
+	local [][]Task // per-group local queues, priority-ordered
+
+	nextStep    []int32 // next step each polymer should enqueue
+	monoStep    []int32 // step whose positions are current per monomer
+	monoPending []int32 // outstanding polymer results per monomer
+	globalMin   int32   // sync-mode barrier front
+
+	remaining int // tasks not yet completed
+	batches   int
+	steals    int
+}
+
+// NewPolicy creates a policy over g and fills the step-0 ready queue.
+func NewPolicy(g *Graph, opts Options) (*Policy, error) {
+	if opts.Steps <= 0 {
+		return nil, errors.New("coord: need at least one step")
+	}
+	if opts.Workers <= 0 {
+		return nil, fmt.Errorf("coord: worker count %d must be positive", opts.Workers)
+	}
+	if opts.Groups < 0 {
+		return nil, fmt.Errorf("coord: group count %d must not be negative", opts.Groups)
+	}
+	if opts.Batch < 0 {
+		return nil, fmt.Errorf("coord: batch size %d must not be negative", opts.Batch)
+	}
+	p := &Policy{g: g, opts: opts}
+	p.groups = opts.Groups
+	if p.groups < 1 {
+		p.groups = 1
+	}
+	if p.groups > opts.Workers {
+		p.groups = opts.Workers
+	}
+	p.batch = opts.Batch
+	if p.batch < 1 {
+		p.batch = 1
+	}
+	p.ready.p = p
+	p.local = make([][]Task, p.groups)
+	p.nextStep = make([]int32, g.NPoly())
+	p.monoStep = make([]int32, g.NMono)
+	p.monoPending = make([]int32, g.NMono)
+	for mi := range p.monoPending {
+		p.monoPending[mi] = int32(len(g.Touching[mi]))
+	}
+	p.remaining = g.NPoly() * opts.Steps
+	for pi := int32(0); pi < int32(g.NPoly()); pi++ {
+		p.tryEnqueue(pi)
+	}
+	return p, nil
+}
+
+// Groups returns the effective group-coordinator count.
+func (p *Policy) Groups() int { return p.groups }
+
+// Batch returns the effective super→group batch size.
+func (p *Policy) Batch() int { return p.batch }
+
+// Batches returns how many super→group batch transfers happened.
+func (p *Policy) Batches() int { return p.batches }
+
+// Steals returns how many inter-group steals happened.
+func (p *Policy) Steals() int { return p.steals }
+
+// Done reports whether every task of every step has completed.
+func (p *Policy) Done() bool { return p.remaining == 0 }
+
+// GroupOf maps a worker to its group coordinator (contiguous blocks).
+func (p *Policy) GroupOf(worker int) int { return worker * p.groups / p.opts.Workers }
+
+// less is the total dispatch order: step, then distance to the
+// reference monomer, then decreasing polymer size, then the polymer's
+// monomer tuple — fully deterministic and backend-independent.
+func (p *Policy) less(a, b Task) bool {
+	if a.Step != b.Step {
+		return a.Step < b.Step
+	}
+	if da, db := p.g.Dist[a.Poly], p.g.Dist[b.Poly]; da != db {
+		return da < db
+	}
+	ma, mb := p.g.Members[a.Poly], p.g.Members[b.Poly]
+	if len(ma) != len(mb) {
+		return len(ma) > len(mb)
+	}
+	for k := range ma {
+		if ma[k] != mb[k] {
+			return ma[k] < mb[k]
+		}
+	}
+	return false
+}
+
+// tryEnqueue pushes every ready step of polymer pi onto the super
+// queue.
+func (p *Policy) tryEnqueue(pi int32) {
+	for p.nextStep[pi] < int32(p.opts.Steps) {
+		t := p.nextStep[pi]
+		for _, mi := range p.g.Touch[pi] {
+			if p.monoStep[mi] < t {
+				return
+			}
+		}
+		if p.opts.Sync && p.globalMin < t {
+			// Synchronous mode: no polymer of step t launches until
+			// every monomer reached step t.
+			return
+		}
+		heap.Push(&p.ready, Task{Poly: pi, Step: t})
+		p.nextStep[pi]++
+	}
+}
+
+// Next picks the next task for the given worker: from its group's local
+// queue, refilling the queue with a batch from the super-coordinator
+// when empty, or stealing from the fullest peer when the
+// super-coordinator is also empty. ok is false when nothing is ready
+// for this worker right now.
+func (p *Policy) Next(worker int) (t Task, m DispatchMeta, ok bool) {
+	gid := p.GroupOf(worker)
+	m.Group = gid
+	if len(p.local[gid]) == 0 {
+		switch {
+		case p.ready.Len() > 0:
+			k := p.batch
+			if k > p.ready.Len() {
+				k = p.ready.Len()
+			}
+			for i := 0; i < k; i++ {
+				p.local[gid] = append(p.local[gid], heap.Pop(&p.ready).(Task))
+			}
+			m.Refill = k
+			p.batches++
+		case p.opts.Steal && p.groups > 1:
+			victim, most := -1, 0
+			for g2 := range p.local {
+				if g2 != gid && len(p.local[g2]) > most {
+					victim, most = g2, len(p.local[g2])
+				}
+			}
+			if victim >= 0 {
+				take := (most + 1) / 2
+				vq := p.local[victim]
+				// Take the lower-priority tail; the victim keeps the
+				// head it is about to dispatch.
+				p.local[gid] = append(p.local[gid], vq[len(vq)-take:]...)
+				p.local[victim] = vq[:len(vq)-take]
+				m.Stolen = take
+				p.steals++
+			}
+		}
+	}
+	q := p.local[gid]
+	if len(q) == 0 {
+		return Task{}, DispatchMeta{Group: gid}, false
+	}
+	p.local[gid] = q[1:]
+	return q[0], m, true
+}
+
+// Complete records that task t finished. For every monomer of t's touch
+// set whose last outstanding polymer this was, advanced fires (the live
+// backend integrates the monomer there) and the monomer's time step
+// advances, releasing newly ready polymers.
+func (p *Policy) Complete(t Task, advanced func(mono, step int32)) {
+	p.remaining--
+	for _, mi := range p.g.Touch[t.Poly] {
+		p.monoPending[mi]--
+		if p.monoPending[mi] == 0 && p.monoStep[mi] == t.Step {
+			p.advanceMono(mi, t.Step, advanced)
+		}
+	}
+}
+
+func (p *Policy) advanceMono(mi, t int32, advanced func(mono, step int32)) {
+	if advanced != nil {
+		advanced(mi, t)
+	}
+	p.monoStep[mi] = t + 1
+	p.monoPending[mi] = int32(len(p.g.Touching[mi]))
+	if p.opts.Sync {
+		newMin := p.monoStep[mi]
+		for _, s := range p.monoStep {
+			if s < newMin {
+				newMin = s
+			}
+		}
+		if newMin > p.globalMin {
+			p.globalMin = newMin
+			for pi := int32(0); pi < int32(p.g.NPoly()); pi++ {
+				p.tryEnqueue(pi)
+			}
+		}
+		return
+	}
+	for _, pi := range p.g.Touching[mi] {
+		p.tryEnqueue(pi)
+	}
+}
+
+// taskHeap is the super-coordinator's priority queue under Policy.less.
+type taskHeap struct {
+	items []Task
+	p     *Policy
+}
+
+func (h *taskHeap) Len() int           { return len(h.items) }
+func (h *taskHeap) Less(i, j int) bool { return h.p.less(h.items[i], h.items[j]) }
+func (h *taskHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *taskHeap) Push(x interface{}) { h.items = append(h.items, x.(Task)) }
+func (h *taskHeap) Pop() interface{} {
+	old := h.items
+	it := old[len(old)-1]
+	h.items = old[:len(old)-1]
+	return it
+}

@@ -1,0 +1,93 @@
+package coord
+
+import "errors"
+
+// Completion is one finished task reported by a backend.
+type Completion struct {
+	Worker int
+	Task   Task
+}
+
+// Backend executes tasks on workers. Dispatch must not block (workers
+// handed tasks are known idle); Await blocks — in real time for the
+// live engine, in simulated time for the discrete-event simulator —
+// until the next task finishes. Backends accumulate their own payloads
+// (energies and gradients, or FLOPs and clocks) before Await returns,
+// so Run can release dependencies immediately afterwards.
+type Backend interface {
+	// Workers returns the number of workers (must stay constant).
+	Workers() int
+	// Dispatch starts t on idle worker w; m carries the coordination
+	// events (batch refill, steal) that preceded the dispatch.
+	Dispatch(w int, t Task, m DispatchMeta)
+	// Await returns the next completion, or an error that aborts the
+	// run.
+	Await() (Completion, error)
+}
+
+// BackendFuncs adapts plain closures to the Backend interface, letting
+// backends keep their state in run-scoped locals.
+type BackendFuncs struct {
+	NumWorkers int
+	DispatchFn func(w int, t Task, m DispatchMeta)
+	AwaitFn    func() (Completion, error)
+}
+
+func (b *BackendFuncs) Workers() int                           { return b.NumWorkers }
+func (b *BackendFuncs) Dispatch(w int, t Task, m DispatchMeta) { b.DispatchFn(w, t, m) }
+func (b *BackendFuncs) Await() (Completion, error)             { return b.AwaitFn() }
+
+// Run drives the policy to completion over a backend: it offers work to
+// idle workers group by group, dispatches what is ready, then blocks on
+// the backend for the next completion and releases its dependants.
+// onAdvance fires whenever a monomer finishes a time step (the live
+// backend integrates there); it may be nil.
+//
+// Idle workers are tracked per group: once one worker of a group is
+// refused, the whole group is skipped for the rest of the sweep — a
+// refusal means the group's queue and the super-coordinator are both
+// empty (and stealing found nothing), which no other group's *pops* can
+// change mid-sweep. This keeps the sweep O(groups + dispatches) per
+// completion instead of O(idle workers), which matters when thousands
+// of simulated workers sit idle in a dispatch-bound phase.
+func Run(p *Policy, b Backend, onAdvance func(mono, step int32)) error {
+	nw := b.Workers()
+	if nw != p.opts.Workers {
+		return errors.New("coord: backend worker count differs from policy options")
+	}
+	idle := make([][]int, p.Groups())
+	for w := nw - 1; w >= 0; w-- {
+		g := p.GroupOf(w)
+		idle[g] = append(idle[g], w) // pop order: lowest worker first
+	}
+	inflight := 0
+	for !p.Done() {
+		for g := range idle {
+			for len(idle[g]) > 0 {
+				w := idle[g][len(idle[g])-1]
+				t, m, ok := p.Next(w)
+				if !ok {
+					break
+				}
+				b.Dispatch(w, t, m)
+				idle[g] = idle[g][:len(idle[g])-1]
+				inflight++
+			}
+		}
+		if inflight == 0 {
+			if p.Done() {
+				break
+			}
+			return errors.New("coord: deadlock — no ready tasks and none in flight")
+		}
+		c, err := b.Await()
+		if err != nil {
+			return err
+		}
+		inflight--
+		g := p.GroupOf(c.Worker)
+		idle[g] = append(idle[g], c.Worker)
+		p.Complete(c.Task, onAdvance)
+	}
+	return nil
+}

@@ -1,9 +1,12 @@
 // Package sched implements the paper's asynchronous time-step AIMD
-// engine (innovation iii, §V-F): a super-coordinator owns a priority
-// queue of ready polymer tasks, dynamically distributes them to worker
-// groups, accumulates energies and gradients as results return, and
-// integrates each monomer to the next time step the moment every polymer
-// touching it has completed — no global synchronisation anywhere.
+// engine (innovation iii, §V-F) as the in-process live backend of the
+// shared scheduling core in internal/coord: the coordinator owns a
+// priority queue of ready polymer tasks, dynamically distributes them —
+// flat or through batched group coordinators with work stealing
+// (DESIGN.md §6) — to evaluator goroutines, accumulates energies and
+// gradients as results return, and integrates each monomer to the next
+// time step the moment every polymer touching it has completed — no
+// global synchronisation anywhere.
 //
 // Queue ordering follows the paper: polymers are prioritised by the
 // minimum distance of their constituent monomers to a reference monomer
@@ -16,15 +19,19 @@
 //
 // The same engine runs in synchronous mode (global barrier per step) for
 // the paper's async-vs-sync comparisons (24 % / 40 % throughput gains).
+// The identical policy drives internal/cluster's discrete-event machine
+// simulation, so scheduling changes can be A/B'd at simulated
+// Frontier/Perlmutter scale before they run a live trajectory.
 package sched
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
-	"math"
+	"runtime"
+	"sort"
 	"time"
 
+	"github.com/fragmd/fragmd/internal/coord"
 	"github.com/fragmd/fragmd/internal/fragment"
 	"github.com/fragmd/fragmd/internal/md"
 	"github.com/fragmd/fragmd/internal/warmstart"
@@ -33,7 +40,7 @@ import (
 // Options configures the engine.
 type Options struct {
 	// Workers is the number of concurrent fragment evaluators
-	// (default 2).
+	// (default runtime.GOMAXPROCS(0)).
 	Workers int
 	// Async enables per-monomer time-step release; false inserts a
 	// global barrier between steps.
@@ -44,6 +51,15 @@ type Options struct {
 	// the monomer farthest from the system centroid (the paper chooses
 	// "an arbitrary fragment towards an extremity").
 	RefMonomer int
+
+	// Groups is the number of group coordinators between the
+	// super-coordinator and the workers (≤ 1 = flat); Batch is the
+	// number of tasks per super→group transfer (≤ 1 = single-task
+	// dispatch); Steal enables work stealing between group queues.
+	// See DESIGN.md §6.
+	Groups int
+	Batch  int
+	Steal  bool
 
 	// WarmStart enables incremental evaluation across time steps: each
 	// polymer's converged electronic state is cached and injected as
@@ -69,6 +85,11 @@ type Options struct {
 	// takes full precedence: its own skip tolerance and staleness
 	// bound apply, and WarmStart/SkipTol/MaxSkip here are ignored.
 	Cache *warmstart.Cache
+
+	// TraceDispatch, when non-nil, observes every dispatch in order —
+	// the policy-equivalence test hook shared with the cluster
+	// simulator.
+	TraceDispatch func(t coord.Task, m coord.DispatchMeta)
 }
 
 // StepStats reports a completed time step.
@@ -95,9 +116,7 @@ type Engine struct {
 	terms    *fragment.Terms
 	polymers []fragment.Polymer
 	coeff    []float64 // per polymer index
-	touch    [][]int   // polymer → monomer dependency set
-	touching [][]int   // monomer → polymer indices touching it
-	prio     []taskPriority
+	graph    *coord.Graph
 	refMono  int
 	cache    *warmstart.Cache // nil unless WarmStart/SkipTol configured
 }
@@ -107,19 +126,13 @@ type Engine struct {
 // hand the warmed states to a later engine.
 func (e *Engine) Cache() *warmstart.Cache { return e.cache }
 
-type taskPriority struct {
-	dist float64
-	size int
-}
-
-// task is one polymer evaluation at one time step.
-type task struct {
-	poly int // polymer index
-	step int
-}
+// Graph returns the engine's scheduling task graph (the shared
+// internal/coord representation).
+func (e *Engine) Graph() *coord.Graph { return e.graph }
 
 type result struct {
-	task    task
+	worker  int
+	task    coord.Task
 	e       float64
 	grad    []float64
 	ex      *fragment.Extracted
@@ -128,40 +141,21 @@ type result struct {
 	skipped bool // cached energy/gradient reused, no evaluation
 }
 
-// taskHeap orders by (distance to reference asc, size desc, step asc).
-type taskHeap struct {
-	items []task
-	eng   *Engine
-}
-
-func (h *taskHeap) Len() int { return len(h.items) }
-func (h *taskHeap) Less(i, j int) bool {
-	a, b := h.items[i], h.items[j]
-	if a.step != b.step {
-		return a.step < b.step
-	}
-	pa, pb := h.eng.prio[a.poly], h.eng.prio[b.poly]
-	if pa.dist != pb.dist {
-		return pa.dist < pb.dist
-	}
-	return pa.size > pb.size
-}
-func (h *taskHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *taskHeap) Push(x interface{}) { h.items = append(h.items, x.(task)) }
-func (h *taskHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
-}
-
 // New creates an engine and precomputes the polymer lists, dependency
 // sets and queue priorities from the initial geometry (the paper's
 // "pre-formed list" strategy for large systems).
 func New(f *fragment.Fragmentation, eval fragment.Evaluator, opts Options) (*Engine, error) {
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("sched: worker count %d must not be negative", opts.Workers)
+	}
+	if opts.Groups < 0 {
+		return nil, fmt.Errorf("sched: group count %d must not be negative", opts.Groups)
+	}
+	if opts.Batch < 0 {
+		return nil, fmt.Errorf("sched: batch size %d must not be negative", opts.Batch)
+	}
 	if opts.Workers == 0 {
-		opts.Workers = 2
+		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	if opts.Dt <= 0 {
 		return nil, errors.New("sched: time step must be positive")
@@ -176,54 +170,40 @@ func New(f *fragment.Fragmentation, eval fragment.Evaluator, opts Options) (*Eng
 	coeffMap := e.terms.Coefficients()
 	e.polymers = e.terms.All()
 	e.coeff = make([]float64, len(e.polymers))
-	e.touch = make([][]int, len(e.polymers))
-	e.touching = make([][]int, len(f.Monomers))
+	members := make([][]int32, len(e.polymers))
+	touch := make([][]int32, len(e.polymers))
 	for pi, p := range e.polymers {
 		e.coeff[pi] = coeffMap[p.Key()]
-		e.touch[pi] = f.TouchSet(p)
-		for _, m := range e.touch[pi] {
-			e.touching[m] = append(e.touching[m], pi)
+		ms := make([]int32, len(p.Monomers))
+		for i, m := range p.Monomers {
+			ms[i] = int32(m)
 		}
+		sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+		members[pi] = ms
+		ts := f.TouchSet(p)
+		t32 := make([]int32, len(ts))
+		for i, m := range ts {
+			t32[i] = int32(m)
+		}
+		touch[pi] = t32
 	}
 
-	// Reference monomer: farthest centroid from the system centroid.
-	e.refMono = opts.RefMonomer
-	if e.refMono < 0 {
-		sys := f.Geom.Centroid()
-		best := -1.0
-		for m := range f.Monomers {
-			c := f.Centroid(m)
-			d := dist3(c, sys)
-			if d > best {
-				best = d
-				e.refMono = m
-			}
-		}
-	}
-	refC := f.Centroid(e.refMono)
-	e.prio = make([]taskPriority, len(e.polymers))
-	for pi, p := range e.polymers {
-		minD := math.Inf(1)
-		for _, m := range p.Monomers {
-			if d := dist3(f.Centroid(m), refC); d < minD {
-				minD = d
-			}
-		}
-		e.prio[pi] = taskPriority{dist: minD, size: p.Order()}
+	// Queue priorities anchored at the reference monomer (shared policy
+	// computation, DESIGN.md §6).
+	var dist []float64
+	e.refMono, dist = coord.Priorities(len(f.Monomers), members, f.Centroid,
+		f.Geom.Centroid(), opts.RefMonomer)
+	var err error
+	e.graph, err = coord.NewGraph(len(f.Monomers), members, touch, dist)
+	if err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
 	}
 	return e, nil
 }
 
-func dist3(a, b [3]float64) float64 {
-	dx, dy, dz := a[0]-b[0], a[1]-b[1], a[2]-b[2]
-	return math.Sqrt(dx*dx + dy*dy + dz*dz)
-}
-
 // monoState tracks one monomer through the asynchronous trajectory.
 type monoState struct {
-	step    int               // step whose positions are current
-	pending int               // outstanding polymer results for this step
-	pos     map[int][]float64 // step → flat positions of the monomer's atoms
+	pos map[int][]float64 // step → flat positions of the monomer's atoms
 }
 
 // Run integrates n time steps (n force evaluations per monomer) starting
@@ -241,7 +221,7 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 
 	monos := make([]*monoState, nm)
 	for m := range monos {
-		monos[m] = &monoState{pos: map[int][]float64{}, pending: len(e.touching[m])}
+		monos[m] = &monoState{pos: map[int][]float64{}}
 		atoms := f.Monomers[m].Atoms
 		p0 := make([]float64, 3*len(atoms))
 		for i, a := range atoms {
@@ -273,17 +253,11 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 	// Per-step accumulators.
 	gradStep := map[int][]float64{}
 	epotStep := make([]float64, n)
-	polyRemaining := make([]int, n)
-	monoRemaining := make([]int, n)
 	ekinStep := make([]float64, n)
 	scfIterStep := make([]int, n)
 	skipStep := make([]int, n)
 	firstDispatch := make([]time.Time, n)
 	lastResult := make([]time.Time, n)
-	for t := 0; t < n; t++ {
-		polyRemaining[t] = npoly
-		monoRemaining[t] = nm
-	}
 	stepGrad := func(t int) []float64 {
 		g, ok := gradStep[t]
 		if !ok {
@@ -293,58 +267,75 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 		return g
 	}
 
-	// Task plumbing.
-	taskCh := make(chan taskWithEx)
+	pol, err := coord.NewPolicy(e.graph, coord.Options{
+		Steps: n, Workers: e.Opts.Workers, Sync: !e.Opts.Async,
+		Groups: e.Opts.Groups, Batch: e.Opts.Batch, Steal: e.Opts.Steal,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sched: %w", err)
+	}
+
+	// Task plumbing: one channel per worker (a worker only receives a
+	// task while idle, so sends never block), one shared result channel
+	// buffered for every worker to finish without a reader.
+	type liveTask struct {
+		task coord.Task
+		ex   *fragment.Extracted
+	}
+	taskCh := make([]chan liveTask, e.Opts.Workers)
 	resCh := make(chan result, e.Opts.Workers)
 	for w := 0; w < e.Opts.Workers; w++ {
-		go func() {
-			for tw := range taskCh {
-				key := e.polymers[tw.task.poly].Key()
+		taskCh[w] = make(chan liveTask, 1)
+		go func(w int) {
+			for tw := range taskCh[w] {
+				key := e.polymers[tw.task.Poly].Key()
 				en, gr, iters, skipped, err := fragment.EvaluateWithCache(e.Eval, e.cache, key, tw.ex.Geom)
-				resCh <- result{task: tw.task, e: en, grad: gr, ex: tw.ex, err: err,
+				resCh <- result{worker: w, task: tw.task, e: en, grad: gr, ex: tw.ex, err: err,
 					iters: iters, skipped: skipped}
 			}
-		}()
+		}(w)
 	}
-	defer close(taskCh)
-
-	h := &taskHeap{eng: e}
-	heap.Init(h)
-	nextStep := make([]int, npoly) // next step index each polymer should run
-	globalMin := 0
-
-	tryEnqueue := func(pi int) {
-		for nextStep[pi] < n {
-			t := nextStep[pi]
-			ready := true
-			for _, m := range e.touch[pi] {
-				if monos[m].step < t {
-					ready = false
-					break
-				}
-			}
-			if ready && !e.Opts.Async {
-				// Synchronous mode: a global barrier — no polymer of
-				// step t launches until every monomer reached step t.
-				if globalMin < t {
-					ready = false
-				}
-			}
-			if !ready {
-				return
-			}
-			heap.Push(h, task{poly: pi, step: t})
-			nextStep[pi]++
+	defer func() {
+		for _, ch := range taskCh {
+			close(ch)
 		}
-	}
-	for pi := range e.polymers {
-		tryEnqueue(pi)
+	}()
+
+	backend := &coord.BackendFuncs{
+		NumWorkers: e.Opts.Workers,
+		DispatchFn: func(w int, t coord.Task, m coord.DispatchMeta) {
+			if e.Opts.TraceDispatch != nil {
+				e.Opts.TraceDispatch(t, m)
+			}
+			ex := f.ExtractAt(e.polymers[t.Poly], positionAt(int(t.Step)))
+			if firstDispatch[t.Step].IsZero() {
+				firstDispatch[t.Step] = time.Now()
+			}
+			taskCh[w] <- liveTask{task: t, ex: ex}
+		},
+		AwaitFn: func() (coord.Completion, error) {
+			r := <-resCh
+			if r.err != nil {
+				return coord.Completion{}, fmt.Errorf("sched: polymer %s step %d: %w",
+					e.polymers[r.task.Poly].Key(), r.task.Step, r.err)
+			}
+			t := int(r.task.Step)
+			lastResult[t] = time.Now()
+			scfIterStep[t] += r.iters
+			if r.skipped {
+				skipStep[t]++
+			}
+			c := e.coeff[r.task.Poly]
+			epotStep[t] += c * r.e
+			r.ex.FoldGradient(r.grad, c, stepGrad(t))
+			return coord.Completion{Worker: r.worker, Task: r.task}, nil
+		},
 	}
 
-	var stats []StepStats
-	finished := 0 // monomers that completed step n−1
-
-	integrate := func(m, t int) {
+	// integrate advances monomer m through step t the moment its last
+	// polymer result lands (the policy's per-monomer release).
+	integrate := func(mi, step int32) {
+		m, t := int(mi), int(step)
 		ms := monos[m]
 		atoms := f.Monomers[m].Atoms
 		g := stepGrad(t)
@@ -362,7 +353,6 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 			ke += 0.5 * state.Masses[a] * (v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
 		}
 		ekinStep[t] += ke
-		monoRemaining[t]--
 
 		if t == n-1 {
 			// Final step: write positions back, no further drift.
@@ -372,7 +362,6 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 					state.Geom.Atoms[a].Pos[k] = p[3*i+k]
 				}
 			}
-			finished++
 			return
 		}
 		// First half-kick + drift to t+1.
@@ -384,94 +373,17 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 				pNew[3*i+k] = p[3*i+k] + state.Vel[a][k]*dt
 			}
 		}
-		ms.step = t + 1
 		ms.pos[t+1] = pNew
 		// Every polymer reading this monomer's step-t positions has
 		// completed (that is why it advanced), so prune the history.
 		delete(ms.pos, t)
-		ms.pending = len(e.touching[m])
-
-		if !e.Opts.Async {
-			newMin := ms.step
-			for _, other := range monos {
-				if other.step < newMin {
-					newMin = other.step
-				}
-			}
-			if newMin > globalMin {
-				globalMin = newMin
-				for pi := range e.polymers {
-					tryEnqueue(pi)
-				}
-				return
-			}
-		}
-		for _, pi := range e.touching[m] {
-			tryEnqueue(pi)
-		}
 	}
 
-	handle := func(r result) error {
-		if r.err != nil {
-			return fmt.Errorf("sched: polymer %s step %d: %w", e.polymers[r.task.poly].Key(), r.task.step, r.err)
-		}
-		t := r.task.step
-		lastResult[t] = time.Now()
-		scfIterStep[t] += r.iters
-		if r.skipped {
-			skipStep[t]++
-		}
-		c := e.coeff[r.task.poly]
-		epotStep[t] += c * r.e
-		r.ex.FoldGradient(r.grad, c, stepGrad(t))
-		polyRemaining[t]--
-		for _, m := range e.touch[r.task.poly] {
-			monos[m].pending--
-			if monos[m].pending == 0 && monos[m].step == t {
-				integrate(m, t)
-			}
-		}
-		return nil
+	if err := coord.Run(pol, backend, integrate); err != nil {
+		return nil, err
 	}
 
-	inflight := 0
-	for finished < nm {
-		if h.Len() > 0 {
-			next := h.items[0]
-			ex := e.Frag.ExtractAt(e.polymers[next.poly], positionAt(next.step))
-			if firstDispatch[next.step].IsZero() {
-				firstDispatch[next.step] = time.Now()
-			}
-			select {
-			case taskCh <- taskWithEx{task: next, ex: ex}:
-				heap.Pop(h)
-				inflight++
-			case r := <-resCh:
-				inflight--
-				if err := handle(r); err != nil {
-					return nil, err
-				}
-			}
-			continue
-		}
-		if inflight == 0 {
-			return nil, errors.New("sched: deadlock — no ready tasks and none in flight")
-		}
-		r := <-resCh
-		inflight--
-		if err := handle(r); err != nil {
-			return nil, err
-		}
-	}
-	// Drain any stragglers (should be none).
-	for inflight > 0 {
-		r := <-resCh
-		inflight--
-		if err := handle(r); err != nil {
-			return nil, err
-		}
-	}
-
+	var stats []StepStats
 	for t := 0; t < n; t++ {
 		st := StepStats{
 			Step: t, Epot: epotStep[t], Ekin: ekinStep[t],
@@ -487,9 +399,4 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 		}
 	}
 	return stats, nil
-}
-
-type taskWithEx struct {
-	task task
-	ex   *fragment.Extracted
 }

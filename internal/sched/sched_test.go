@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"github.com/fragmd/fragmd/internal/chem"
+	"github.com/fragmd/fragmd/internal/coord"
 	"github.com/fragmd/fragmd/internal/fragment"
 	"github.com/fragmd/fragmd/internal/md"
 	"github.com/fragmd/fragmd/internal/molecule"
@@ -169,60 +170,135 @@ func TestAsyncWithHCaps(t *testing.T) {
 	}
 }
 
-// Queue priority: polymers near the reference monomer must be ordered
-// first, ties broken by decreasing size.
+// Queue priority: with one worker every step-0 task is dispatched in
+// pure policy order — distance to the reference monomer ascending, ties
+// broken by decreasing size — before any step-1 task can overtake it.
 func TestQueueOrdering(t *testing.T) {
 	f := ljFrag(t, 4, fragment.Options{})
-	eng, err := New(f, &potential.LennardJones{}, Options{Workers: 1, Async: true, Dt: 1})
+	var order []coord.Task
+	eng, err := New(f, &potential.LennardJones{}, Options{
+		Workers: 1, Async: true, Dt: 1,
+		TraceDispatch: func(tk coord.Task, _ coord.DispatchMeta) { order = append(order, tk) },
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := &taskHeap{eng: eng}
-	for pi := range eng.polymers {
-		h.items = append(h.items, task{poly: pi, step: 0})
+	if _, err := eng.Run(newLJState(f, 9), 1, nil); err != nil {
+		t.Fatal(err)
 	}
-	// heap.Init not needed for pairwise Less checks; verify comparator
-	// properties directly.
-	refC := f.Centroid(eng.refMono)
-	_ = refC
-	for i := range h.items {
-		for j := range h.items {
-			a, b := h.items[i], h.items[j]
-			pa, pb := eng.prio[a.poly], eng.prio[b.poly]
-			if pa.dist == pb.dist && pa.size > pb.size {
-				if !h.Less(i, j) && h.Less(j, i) {
-					t.Fatalf("size tie-break inverted for %v vs %v", eng.polymers[a.poly], eng.polymers[b.poly])
-				}
+	if len(order) != len(eng.polymers) {
+		t.Fatalf("dispatched %d tasks, want %d", len(order), len(eng.polymers))
+	}
+	// The first dispatch is a maximal-order polymer containing the
+	// reference monomer (priority distance zero).
+	first := eng.polymers[order[0].Poly]
+	hasRef := false
+	for _, m := range first.Monomers {
+		if m == eng.refMono {
+			hasRef = true
+		}
+	}
+	if !hasRef {
+		t.Errorf("first dispatch %v does not contain reference monomer %d", first, eng.refMono)
+	}
+	if first.Order() != 3 {
+		t.Errorf("first dispatch order %d, want 3 (largest fragments launch first)", first.Order())
+	}
+	// Distances are non-decreasing, and sizes non-increasing within
+	// equal distance.
+	g := eng.Graph()
+	for i := 1; i < len(order); i++ {
+		da, db := g.Dist[order[i-1].Poly], g.Dist[order[i].Poly]
+		if da > db {
+			t.Fatalf("dispatch %d: distance %.6f after %.6f", i, db, da)
+		}
+		if da == db && len(g.Members[order[i-1].Poly]) < len(g.Members[order[i].Poly]) {
+			t.Fatalf("dispatch %d: size tie-break inverted at distance %.6f", i, da)
+		}
+	}
+}
+
+// Hierarchical dispatch (group coordinators, batching, stealing) is a
+// scheduling change only: the trajectory must match the flat scheduler
+// to floating-point accumulation noise.
+func TestHierMatchesFlatTrajectory(t *testing.T) {
+	eval := &potential.LennardJones{}
+	run := func(opts Options) (*md.State, []StepStats) {
+		f := ljFrag(t, 6, fragment.Options{DimerCutoff: 12, TrimerCutoff: 9})
+		opts.Async = true
+		opts.Dt = dtFs * chem.AtomicTimePerFs
+		eng, err := New(f, eval, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := newLJState(f, 7)
+		stats, err := eng.Run(state, 6, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return state, stats
+	}
+	sf, statsF := run(Options{Workers: 4})
+	sh, statsH := run(Options{Workers: 4, Groups: 2, Batch: 3, Steal: true})
+	for i := range sf.Geom.Atoms {
+		for k := 0; k < 3; k++ {
+			if d := math.Abs(sf.Geom.Atoms[i].Pos[k] - sh.Geom.Atoms[i].Pos[k]); d > 1e-10 {
+				t.Fatalf("flat/hier positions diverge at atom %d dim %d by %.2e", i, k, d)
 			}
 		}
 	}
-	// The reference monomer's own task must beat any polymer whose
-	// closest monomer is farther away.
-	var refTask, farTask = -1, -1
-	var farDist float64
-	for pi, p := range eng.polymers {
-		if p.Order() == 1 && p.Monomers[0] == eng.refMono {
-			refTask = pi
-		}
-		if eng.prio[pi].dist > farDist {
-			farDist = eng.prio[pi].dist
-			farTask = pi
+	for s := range statsF {
+		if d := math.Abs(statsF[s].Etot - statsH[s].Etot); d > 1e-10 {
+			t.Errorf("flat/hier Etot differ at step %d by %.2e", s, d)
 		}
 	}
-	if refTask >= 0 && farTask >= 0 && refTask != farTask {
-		h.items = []task{{poly: refTask}, {poly: farTask}}
-		if !h.Less(0, 1) {
-			t.Error("reference-adjacent polymer not prioritised")
+}
+
+// The group-coordinator and work-stealing paths must be clean under the
+// race detector with many workers hammering the result channel.
+func TestGroupSchedulingRace(t *testing.T) {
+	f := ljFrag(t, 8, fragment.Options{DimerCutoff: 14, TrimerCutoff: 10})
+	eng, err := New(f, &potential.LennardJones{}, Options{
+		Workers: 8, Groups: 4, Batch: 2, Steal: true,
+		Async: true, Dt: 0.25 * chem.AtomicTimePerFs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run(newLJState(f, 13), 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := stats[0].Etot
+	for _, st := range stats {
+		if math.Abs(st.Etot-e0) > 1e-4 {
+			t.Fatalf("energy drift %.2e under hierarchical scheduling", st.Etot-e0)
 		}
 	}
 }
 
 func TestEngineValidation(t *testing.T) {
 	f := ljFrag(t, 2, fragment.Options{})
-	if _, err := New(f, &potential.LennardJones{}, Options{}); err == nil {
+	lj := &potential.LennardJones{}
+	if _, err := New(f, lj, Options{}); err == nil {
 		t.Fatal("expected error for missing dt")
 	}
-	eng, _ := New(f, &potential.LennardJones{}, Options{Dt: 1})
+	if _, err := New(f, lj, Options{Dt: 1, Workers: -1}); err == nil {
+		t.Fatal("expected error for negative workers")
+	}
+	if _, err := New(f, lj, Options{Dt: 1, Groups: -2}); err == nil {
+		t.Fatal("expected error for negative groups")
+	}
+	if _, err := New(f, lj, Options{Dt: 1, Batch: -1}); err == nil {
+		t.Fatal("expected error for negative batch")
+	}
+	eng, err := New(f, lj, Options{Dt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Opts.Workers < 1 {
+		t.Errorf("default workers = %d, want runtime.GOMAXPROCS(0) ≥ 1", eng.Opts.Workers)
+	}
 	if _, err := eng.Run(md.NewState(f.Geom.Clone()), 0, nil); err == nil {
 		t.Fatal("expected error for zero steps")
 	}
