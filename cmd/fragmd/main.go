@@ -10,6 +10,8 @@
 //	       [-steps N] [-dt fs] [-temp K] [-sync] [-workers N]
 //	       [-groups N] [-batch N] [-steal]
 //	       [-warm] [-skip-tol Å] [-max-skip N]
+//	       [-checkpoint file] [-checkpoint-every N] [-resume]
+//	       [-retries N] [-speculate]
 //
 // Scheduler knobs: -workers sizes the evaluator pool (default
 // GOMAXPROCS); -groups/-batch/-steal engage the hierarchical
@@ -26,6 +28,15 @@
 // (approximate; -max-skip bounds the staleness). -mode bench runs the
 // same trajectory cold and warm and reports SCF-iterations-per-step
 // and wall-per-step for both.
+//
+// Resilience knobs (md mode; DESIGN.md §7): -checkpoint names a
+// trajectory checkpoint file, written atomically every
+// -checkpoint-every completed steps (0 = only at the end) — a killed
+// run restarts from it with -resume and reproduces the uninterrupted
+// trajectory's energies. -retries gives each polymer task a failure
+// budget (re-queued on a surviving worker) instead of aborting on
+// first failure; -speculate re-dispatches straggling tasks to idle
+// workers.
 //
 // The geometry is fragmented into monomers of equal atom count (for
 // molecular clusters built molecule-by-molecule); covalent systems use
@@ -48,7 +59,9 @@ import (
 	"github.com/fragmd/fragmd/internal/md"
 	"github.com/fragmd/fragmd/internal/molecule"
 	"github.com/fragmd/fragmd/internal/potential"
+	"github.com/fragmd/fragmd/internal/resilience"
 	"github.com/fragmd/fragmd/internal/sched"
+	"github.com/fragmd/fragmd/internal/warmstart"
 )
 
 // errUsage marks command-line usage errors whose diagnostics have
@@ -90,6 +103,11 @@ func run(argv []string, out, errOut io.Writer) error {
 	warm := fs.Bool("warm", false, "warm-start each polymer's SCF from its previous converged density")
 	skipTol := fs.Float64("skip-tol", 0, "skip re-evaluating polymers that moved less than this (Å, 0 = off; approximate)")
 	maxSkip := fs.Int("max-skip", 0, "staleness bound: max consecutive skipped evaluations per polymer (0 = default)")
+	ckPath := fs.String("checkpoint", "", "trajectory checkpoint file (md mode)")
+	ckEvery := fs.Int("checkpoint-every", 0, "checkpoint every N completed MD steps (0 = only at the end)")
+	resume := fs.Bool("resume", false, "resume the trajectory from -checkpoint instead of starting fresh")
+	retries := fs.Int("retries", 0, "per-task failure retry budget (0 = failures are fatal)")
+	speculate := fs.Bool("speculate", false, "re-dispatch straggling tasks to idle workers (first copy wins)")
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -100,6 +118,16 @@ func run(argv []string, out, errOut io.Writer) error {
 
 	if *in == "" {
 		fmt.Fprintln(errOut, "fragmd: -in is required")
+		fs.Usage()
+		return errUsage
+	}
+	if (*resume || *ckEvery > 0) && *ckPath == "" {
+		fmt.Fprintln(errOut, "fragmd: -resume and -checkpoint-every need -checkpoint")
+		fs.Usage()
+		return errUsage
+	}
+	if *ckEvery < 0 {
+		fmt.Fprintln(errOut, "fragmd: -checkpoint-every must not be negative")
 		fs.Usage()
 		return errUsage
 	}
@@ -134,6 +162,7 @@ func run(argv []string, out, errOut io.Writer) error {
 		Workers: *workers, Async: !*sync, Dt: *dt * chem.AtomicTimePerFs,
 		Groups: *groups, Batch: *batch, Steal: *steal,
 		WarmStart: *warm, SkipTol: *skipTol * chem.BohrPerAngstrom, MaxSkip: *maxSkip,
+		MaxRetries: *retries, Speculate: *speculate,
 	}
 	linalg.ResetFLOPs()
 
@@ -152,19 +181,7 @@ func run(argv []string, out, errOut io.Writer) error {
 			}
 		}
 	case "md":
-		eng, err := sched.New(f, eval, engOpts)
-		if err != nil {
-			return err
-		}
-		state := md.NewState(g)
-		state.SampleVelocities(*temp, rand.New(rand.NewSource(1)))
-		fmt.Fprintf(out, "%6s %18s %14s %10s %9s %8s\n", "step", "Etot (Ha)", "Epot (Ha)", "T (K)", "SCF-iter", "skipped")
-		_, err = eng.Run(state, *steps, func(st sched.StepStats) {
-			tK := 2 * st.Ekin / (3 * float64(g.N())) * chem.KelvinPerHartree
-			fmt.Fprintf(out, "%6d %18.8f %14.8f %10.1f %9d %8d\n",
-				st.Step, st.Etot, st.Epot, tK, st.SCFIters, st.Skipped)
-		})
-		if err != nil {
+		if err := runMD(out, g, f, eval, engOpts, *steps, *temp, *ckPath, *ckEvery, *resume); err != nil {
 			return err
 		}
 	case "bench":
@@ -175,6 +192,107 @@ func run(argv []string, out, errOut io.Writer) error {
 		return fmt.Errorf("unknown mode %q", *mode)
 	}
 	fmt.Fprintf(out, "GEMM FLOPs executed: %.3e\n", float64(linalg.FLOPs()))
+	return nil
+}
+
+// runMD integrates an NVE trajectory with optional checkpoint/restart:
+// the run proceeds in chunks, writing an atomic checkpoint (MD state +
+// warm-start cache) after each, and -resume rebuilds everything from
+// the file. A resumed (or continuation) chunk re-evaluates forces at
+// the checkpointed geometry as its local step 0 — the same boundary
+// semantics as chaining two engine runs — so the assembled trajectory
+// reproduces an uninterrupted one; the duplicated boundary step is not
+// re-reported.
+func runMD(out io.Writer, g *molecule.Geometry, f *fragment.Fragmentation, eval fragment.Evaluator,
+	engOpts sched.Options, steps int, temp float64, ckPath string, ckEvery int, resume bool) error {
+	// One cache shared across chunks (and checkpoints) when incremental
+	// evaluation is on; a cold run stays cold.
+	cache := engOpts.Cache
+	if cache == nil && (engOpts.WarmStart || engOpts.SkipTol > 0) {
+		cache = warmstart.NewCache(engOpts.SkipTol, engOpts.MaxSkip)
+	}
+	engOpts.Cache = cache
+
+	var state *md.State
+	done := 0 // completed global steps
+	if resume {
+		ck, err := resilience.Load(ckPath)
+		if err != nil {
+			return err
+		}
+		if !ck.Matches(g) {
+			return fmt.Errorf("fragmd: checkpoint %s was taken from a different system", ckPath)
+		}
+		if ck.Dt != engOpts.Dt {
+			// Integrating a resumed trajectory at a different time step
+			// silently breaks the reproduces-the-uninterrupted-run
+			// guarantee; make the mismatch loud and actionable.
+			return fmt.Errorf("fragmd: checkpoint %s was integrated at dt=%g fs; rerun with -dt %g",
+				ckPath, ck.Dt/chem.AtomicTimePerFs, ck.Dt/chem.AtomicTimePerFs)
+		}
+		if state, err = ck.State(); err != nil {
+			return err
+		}
+		if cache != nil {
+			if err := ck.RestoreCache(cache); err != nil {
+				return err
+			}
+		}
+		done = ck.StepsDone
+		fmt.Fprintf(out, "resumed from %s at step %d/%d (%d warm states)\n", ckPath, done, steps, len(ck.Warm))
+		if ck.TotalSteps > 0 && ck.TotalSteps != steps {
+			fmt.Fprintf(out, "note: checkpointed run was headed for %d steps; continuing to %d\n",
+				ck.TotalSteps, steps)
+		}
+		if done >= steps {
+			fmt.Fprintf(out, "trajectory already complete\n")
+			return nil
+		}
+	} else {
+		state = md.NewState(g)
+		state.SampleVelocities(temp, rand.New(rand.NewSource(1)))
+	}
+
+	fmt.Fprintf(out, "%6s %18s %14s %10s %9s %8s\n", "step", "Etot (Ha)", "Epot (Ha)", "T (K)", "SCF-iter", "skipped")
+	for done < steps {
+		// A continuation chunk re-runs the boundary step as its local
+		// step 0 (offset 1); chunk length covers ckEvery new steps.
+		offset := 0
+		if done > 0 {
+			offset = 1
+		}
+		chunk := steps - done + offset
+		if ckEvery > 0 && chunk > ckEvery+offset {
+			chunk = ckEvery + offset
+		}
+		eng, err := sched.New(f, eval, engOpts)
+		if err != nil {
+			return err
+		}
+		_, err = eng.Run(state, chunk, func(st sched.StepStats) {
+			if st.Step < offset {
+				return // boundary step, already reported by the previous chunk
+			}
+			global := done - offset + st.Step
+			tK := 2 * st.Ekin / (3 * float64(g.N())) * chem.KelvinPerHartree
+			fmt.Fprintf(out, "%6d %18.8f %14.8f %10.1f %9d %8d\n",
+				global, st.Etot, st.Epot, tK, st.SCFIters, st.Skipped)
+		})
+		if err != nil {
+			return err
+		}
+		done += chunk - offset
+		if ckPath != "" {
+			ck := resilience.Snapshot(state, done, engOpts.Dt)
+			ck.TotalSteps = steps
+			ck.Seed = 1
+			ck.AttachCache(cache)
+			if err := resilience.Save(ckPath, ck); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "checkpoint: %s (step %d/%d)\n", ckPath, done, steps)
+		}
+	}
 	return nil
 }
 

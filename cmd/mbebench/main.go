@@ -6,18 +6,23 @@
 //	mbebench -list
 //
 // Experiments: table1 fig1 table2 table3 fig3 table4 gemm autotune fig5
-// fig6 async warmstart hier fig7 fig8 table5 all
+// fig6 async warmstart hier resilience fig7 fig8 table5 all
 //
 // By default workloads are shrunk to development-box scale; -full runs
 // the paper-size configurations (the exascale experiments remain
 // discrete-event simulations — see DESIGN.md §2).
 //
-// The simulated experiments (hier fig7 fig8 table5, and async's cluster
-// half) honour -seed and -jitter: -jitter adds ±fractional runtime noise
-// to the machine model's task costs and -seed makes those draws
-// reproducible run-to-run. Exception: hier substitutes ±10 % jitter when
-// -jitter is 0 (its work-stealing path needs load imbalance to exist)
-// and prints the value it used.
+// The simulated experiments (hier resilience fig7 fig8 table5, and
+// async's cluster half) honour -seed and -jitter: -jitter adds
+// ±fractional runtime noise to the machine model's task costs and -seed
+// makes those draws reproducible run-to-run. Exception: hier
+// substitutes ±10 % jitter when -jitter is 0 (its work-stealing path
+// needs load imbalance to exist) and prints the value it used.
+//
+// The resilience experiment sweeps simulated per-worker node MTBF
+// against throughput, recovered attempts, lost work and restart
+// downtime (DESIGN.md §7); every run must still complete every time
+// step.
 //
 // The gemm experiment additionally honours -bench-json (write the
 // machine-readable GFLOP/s report, conventionally BENCH_gemm.json),
@@ -55,6 +60,7 @@ var experiments = []struct {
 	{"async", bench.AsyncAblation, "async vs sync time-step latency (§VII-A)"},
 	{"warmstart", bench.WarmStartAblation, "cold vs warm-start SCF iterations and wall per AIMD step"},
 	{"hier", bench.Hier, "hierarchical group coordinators vs flat scheduler (§VII)"},
+	{"resilience", bench.Resilience, "failure injection: throughput and lost work vs node MTBF"},
 	{"fig7", bench.Fig7, "strong scaling on Perlmutter/Frontier models"},
 	{"fig8", bench.Fig8, "weak scaling at 4 polymers/GCD"},
 	{"table5", bench.Table5, "record runs: million-electron urea, 2BEG latency"},

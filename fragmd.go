@@ -53,6 +53,7 @@ import (
 	"github.com/fragmd/fragmd/internal/md"
 	"github.com/fragmd/fragmd/internal/molecule"
 	"github.com/fragmd/fragmd/internal/potential"
+	"github.com/fragmd/fragmd/internal/resilience"
 	"github.com/fragmd/fragmd/internal/sched"
 	"github.com/fragmd/fragmd/internal/warmstart"
 )
@@ -186,6 +187,46 @@ func RunAIMD(f *Fragmentation, eval Evaluator, tempK, dtFs float64, n int, seed 
 	state.SampleVelocities(tempK, rand.New(rand.NewSource(seed)))
 	stats, err := eng.Run(state, n, obs)
 	return state, stats, err
+}
+
+// Resilience types (checkpoint/restart and failure injection; see
+// DESIGN.md §7). A trajectory checkpoint is a schema-versioned,
+// atomically-written, checksummed snapshot of the MD state plus the
+// warm-start cache; a FailureInjector drives seeded deterministic
+// chaos (task failures, worker deaths, stragglers) through
+// EngineOptions.Injector or SimOptions.Injector.
+type (
+	// Checkpoint is a trajectory snapshot with Save/Load round-trip
+	// integrity (CRC-checked) and State()/RestoreCache() rebuilders.
+	Checkpoint = resilience.Checkpoint
+	// FailureInjector makes seeded, order-independent failure
+	// decisions for chaos testing in both scheduler backends.
+	FailureInjector = resilience.FailureInjector
+	// InjectOptions configures a FailureInjector.
+	InjectOptions = resilience.InjectOptions
+)
+
+// SnapshotTrajectory captures a checkpoint from an MD state after
+// stepsDone completed force evaluations with time step dt (atomic
+// units); attach the engine's warm-start cache with
+// Checkpoint.AttachCache before saving to keep the incremental-SCF
+// advantage across the restart.
+func SnapshotTrajectory(state *MDState, stepsDone int, dt float64) *Checkpoint {
+	return resilience.Snapshot(state, stepsDone, dt)
+}
+
+// SaveCheckpoint atomically writes a checkpoint (temp file + rename,
+// CRC over the payload); LoadCheckpoint verifies magic, schema and
+// checksum before trusting any field.
+func SaveCheckpoint(path string, ck *Checkpoint) error { return resilience.Save(path, ck) }
+
+// LoadCheckpoint reads and verifies a checkpoint written by
+// SaveCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) { return resilience.Load(path) }
+
+// NewFailureInjector builds a seeded deterministic failure injector.
+func NewFailureInjector(o InjectOptions) (*FailureInjector, error) {
+	return resilience.NewFailureInjector(o)
 }
 
 // Cluster-simulation types (the Frontier/Perlmutter substitute).

@@ -1,0 +1,193 @@
+package fragmd_test
+
+import (
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"testing"
+
+	"github.com/fragmd/fragmd"
+	"github.com/fragmd/fragmd/internal/autotune"
+	"github.com/fragmd/fragmd/internal/chem"
+	"github.com/fragmd/fragmd/internal/md"
+	"github.com/fragmd/fragmd/internal/sched"
+)
+
+// -update regenerates the golden files instead of comparing:
+//
+//	go test -run Golden -update .
+var update = flag.Bool("update", false, "rewrite golden trajectory files")
+
+// Golden-trajectory regression tests: the quickstart and urea_crystal
+// example workloads are run at reduced size and their energies
+// compared bit-for-bit against committed JSON. Values are stored as
+// shortest round-trip decimal strings (strconv 'g' −1), so string
+// equality is float64 bit equality. Any refactor that changes an
+// energy in the 16th digit shows up here; legitimate numerical changes
+// are adopted explicitly with -update.
+//
+// Determinism requirements: one worker (a single completion order for
+// the gradient accumulation), auto-tuner off (its timing-based variant
+// arbitration is the one nondeterministic kernel ingredient), fixed
+// seeds. Pure-Go float64 arithmetic is IEEE-deterministic on a given
+// architecture; the committed files are amd64 (no fused-multiply-add
+// contraction in these kernels).
+
+// fnum is a bit-exact float64 in JSON.
+type fnum string
+
+func num(v float64) fnum { return fnum(strconv.FormatFloat(v, 'g', -1, 64)) }
+
+type goldenStep struct {
+	Etot fnum `json:"etot"`
+	Epot fnum `json:"epot"`
+}
+
+type goldenContribution struct {
+	Key    string `json:"key"`
+	DeltaE fnum   `json:"delta_e_ha"`
+}
+
+type goldenQuickstart struct {
+	System      string               `json:"system"`
+	NPolymers   int                  `json:"n_polymers"`
+	MBEEnergy   fnum                 `json:"mbe_energy_ha"`
+	Supersystem fnum                 `json:"supersystem_energy_ha"`
+	Dimers      []goldenContribution `json:"dimer_deltas"`
+	Trajectory  []goldenStep         `json:"trajectory"`
+}
+
+type goldenUrea struct {
+	System   string `json:"system"`
+	Energy   fnum   `json:"rimp2_energy_ha"`
+	Gradient []fnum `json:"gradient_ha_bohr"`
+}
+
+// withDeterministicKernels pins the GEMM engine for the duration of a
+// golden run.
+func withDeterministicKernels(t *testing.T, fn func()) {
+	t.Helper()
+	was := autotune.Default.Enabled
+	autotune.Default.Enabled = false
+	defer func() { autotune.Default.Enabled = was }()
+	fn()
+}
+
+// compareGolden marshals got, then either rewrites the golden file
+// (-update) or diffs byte-for-byte against it.
+func compareGolden(t *testing.T, name string, got interface{}) {
+	t.Helper()
+	blob, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if string(want) != string(blob) {
+		t.Errorf("energies diverged from %s — a refactor changed the numbers.\n"+
+			"If intentional, regenerate with: go test -run Golden -update .\ngot:\n%swant:\n%s",
+			path, blob, want)
+	}
+}
+
+// The quickstart example's workload: MBE3/RI-MP2 on a 3-water cluster
+// (exact vs the supersystem), the dimer ΔEs, and 3 steps of
+// asynchronous NVE AIMD.
+func TestGoldenQuickstartTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RI-MP2 trajectory is slow; run without -short")
+	}
+	withDeterministicKernels(t, func() {
+		sys := fragmd.WaterCluster(3)
+		frag, err := fragmd.FragmentByMolecule(sys, 3, 1, fragmd.FragmentOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eval := fragmd.NewRIMP2Potential("sto-3g", false)
+		res, err := frag.Compute(eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eSuper, _, err := eval.Evaluate(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := goldenQuickstart{
+			System:      "water cluster n=3, MBE3/RI-MP2/STO-3G",
+			NPolymers:   res.NPolymers,
+			MBEEnergy:   num(res.Energy),
+			Supersystem: num(eSuper),
+		}
+		keys := make([]string, 0, len(res.DeltaDimer))
+		for k := range res.DeltaDimer {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			g.Dimers = append(g.Dimers, goldenContribution{Key: k, DeltaE: num(res.DeltaDimer[k])})
+		}
+
+		eng, err := sched.New(frag, eval, sched.Options{
+			Workers: 1, Async: true, Dt: 0.5 * chem.AtomicTimePerFs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := md.NewState(frag.Geom.Clone())
+		state.SampleVelocities(150, rand.New(rand.NewSource(1)))
+		stats, err := eng.Run(state, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range stats {
+			g.Trajectory = append(g.Trajectory, goldenStep{Etot: num(st.Etot), Epot: num(st.Epot)})
+		}
+		compareGolden(t, "golden_quickstart.json", g)
+	})
+}
+
+// The urea_crystal example's workload at regression-test size: the
+// r=3 Å sphere is the single central molecule, whose RI-MP2 energy and
+// full analytic gradient are locked bit-for-bit. (A urea *dimer*
+// evaluation runs ~2 minutes in the pure-Go kernels, so the example's
+// ΔE analysis is exercised at golden precision on the water dimers
+// above instead.)
+func TestGoldenUreaCrystalEnergies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RI-MP2 on urea is slow; run without -short")
+	}
+	withDeterministicKernels(t, func() {
+		sys := fragmd.UreaCrystalSphere(3.0)
+		eval := fragmd.NewRIMP2Potential("sto-3g", false)
+		e, grad, err := eval.Evaluate(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := goldenUrea{
+			System: "urea crystal sphere r=3.0 Å (1 molecule), RI-MP2/STO-3G",
+			Energy: num(e),
+		}
+		for _, v := range grad {
+			g.Gradient = append(g.Gradient, num(v))
+		}
+		compareGolden(t, "golden_urea_crystal.json", g)
+	})
+}

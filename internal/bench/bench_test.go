@@ -200,3 +200,36 @@ func fmtSscan(line string, nodes *int, sPerStep, pflops, peak, eff *float64) (in
 	parse(fields[4], eff)
 	return 5, err
 }
+
+// The resilience sweep is pure simulation and fast at Quick scale: the
+// report must show recoveries at nonzero failure rates, evictions in
+// the permanent-failure row, and no recorded failures.
+func TestResilienceReport(t *testing.T) {
+	var buf bytes.Buffer
+	c := &Config{Quick: true, Out: &buf}
+	Resilience(c)
+	out := buf.String()
+	if len(c.Failures) > 0 {
+		t.Fatalf("resilience sweep recorded failures %v:\n%s", c.Failures, out)
+	}
+	for _, want := range []string{"no failures", "mtbf span/8", "perm", "recovered", "Shape to verify"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("resilience output missing %q:\n%s", want, out)
+		}
+	}
+	// The no-failure baseline row reports zero recoveries; at least one
+	// failing row reports a positive count (asserted by the experiment
+	// itself via c.Failures, re-checked here on the rendered table).
+	var sawRecovery bool
+	for _, l := range strings.Split(out, "\n") {
+		f := strings.Fields(l)
+		if len(f) >= 8 && strings.HasPrefix(l, "   mtbf") {
+			if n, err := strconv.Atoi(f[4]); err == nil && n > 0 {
+				sawRecovery = true
+			}
+		}
+	}
+	if !sawRecovery {
+		t.Errorf("no recovery counts visible in the table:\n%s", out)
+	}
+}

@@ -50,6 +50,12 @@ type Machine struct {
 	// interconnect).
 	GroupService float64
 	GroupLatency float64
+	// RestartSeconds is how long a failed worker stays down before it
+	// rejoins the pool (Options.MTBF failures; DESIGN.md §7). Zero
+	// selects the default 30 s — a node reboot plus job-manager
+	// re-registration, optimistic for a real machine but enough to make
+	// recovery visibly non-free in the model.
+	RestartSeconds float64
 }
 
 // groupService returns the effective group-coordinator per-task service
@@ -67,6 +73,14 @@ func (m Machine) groupLatency() float64 {
 		return m.GroupLatency
 	}
 	return m.DispatchLatency / 8
+}
+
+// restartSeconds returns the effective worker restart delay.
+func (m Machine) restartSeconds() float64 {
+	if m.RestartSeconds > 0 {
+		return m.RestartSeconds
+	}
+	return 30
 }
 
 // Frontier returns the OLCF Frontier model: 9,408 nodes × 4 MI250X

@@ -2,12 +2,14 @@ package cluster
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"github.com/fragmd/fragmd/internal/coord"
+	"github.com/fragmd/fragmd/internal/resilience"
 )
 
 // Options configures one simulation run.
@@ -34,9 +36,30 @@ type Options struct {
 	// cost model). Non-zero jitter creates the load imbalance that
 	// exercises dynamic balancing and work stealing.
 	Jitter float64
-	// Seed seeds the jitter RNG so runs are reproducible run-to-run;
-	// 0 selects the default seed 1.
+	// Seed seeds the jitter and failure RNGs so runs are reproducible
+	// run-to-run; 0 selects the default seed 1.
 	Seed int64
+
+	// MTBF is the per-worker mean time between failures in simulated
+	// seconds (exponentially distributed, drawn from Seed); 0 disables
+	// node failures. A failure kills the attempt in flight: the
+	// coordinator re-queues it on a surviving worker and the failed
+	// worker rejoins after Machine.RestartSeconds — or never, with
+	// FailPermanent.
+	MTBF float64
+	// FailPermanent makes every failure a node loss for the rest of the
+	// run: the worker is evicted instead of restarting.
+	FailPermanent bool
+	// MaxRetries is the per-task failure budget (required > 0 when MTBF
+	// or an Injector can fail attempts; 0 keeps failures fatal).
+	MaxRetries int
+	// Speculate enables straggler re-dispatch: idle workers re-run the
+	// oldest in-flight task, first copy wins.
+	Speculate bool
+	// Injector, when non-nil, adds seeded deterministic task failures
+	// and stragglers on top of (or instead of) the MTBF process — the
+	// chaos-test hook shared with the live engine.
+	Injector *resilience.FailureInjector
 
 	// TraceDispatch, when non-nil, observes every dispatch in order —
 	// the policy-equivalence test hook shared with the live engine.
@@ -63,13 +86,27 @@ type Result struct {
 	Batches    int     // super→group batch transfers
 	Steals     int     // inter-group work steals
 	Throughput float64 // completed tasks per second of makespan
+
+	// Resilience diagnostics (Options.MTBF / Injector; DESIGN.md §7).
+	Recoveries      int     // failed attempts recovered by re-queueing
+	LostWork        float64 // seconds of computation thrown away by failures
+	RestartOverhead float64 // seconds of worker downtime spent restarting
+	Evicted         int     // workers lost for good (FailPermanent)
+	Speculated      int     // straggler copies dispatched
 }
+
+// errNodeFailure marks an attempt lost to a simulated MTBF node
+// failure.
+var errNodeFailure = errors.New("cluster: simulated node failure")
 
 // doneEvent is a completion in the running set.
 type doneEvent struct {
 	t      float64
+	dur    float64 // modelled execution seconds of the attempt
 	task   coord.Task
 	worker int
+	err    error // non-nil: the attempt was lost to a failure
+	down   bool  // the worker is gone for good
 }
 
 type eventHeap []doneEvent
@@ -106,12 +143,19 @@ func Simulate(w *Workload, m Machine, opt Options) (*Result, error) {
 	if opt.Jitter < 0 || opt.Jitter >= 1 {
 		return nil, fmt.Errorf("cluster: jitter %g outside 0..1", opt.Jitter)
 	}
+	if opt.MTBF < 0 {
+		return nil, fmt.Errorf("cluster: MTBF %g must not be negative", opt.MTBF)
+	}
+	if opt.MTBF > 0 && opt.MaxRetries <= 0 {
+		return nil, errors.New("cluster: MTBF failures need a positive MaxRetries budget")
+	}
 	nWorkers := opt.Nodes * m.GCDsPerNode
 	nPoly := len(w.Polymers)
 
 	pol, err := coord.NewPolicy(w.Graph(), coord.Options{
 		Steps: opt.Steps, Workers: nWorkers, Sync: !opt.Async,
 		Groups: opt.Groups, Batch: opt.Batch, Steal: opt.Steal,
+		MaxRetries: opt.MaxRetries, Speculate: opt.Speculate,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
@@ -144,6 +188,25 @@ func Simulate(w *Workload, m Machine, opt Options) (*Result, error) {
 	}
 	var totalFlops float64
 	completions := 0
+
+	// Failure machinery: each worker's failure times follow a seeded
+	// exponential process (separate RNG so toggling MTBF never perturbs
+	// the jitter draws); a failed worker is unavailable until
+	// availableAt[w].
+	inj := opt.Injector
+	var lostWork, restartOverhead float64
+	availableAt := make([]float64, nWorkers)
+	tasksDone := make([]int, nWorkers)
+	var nextFail []float64
+	var failRng *rand.Rand
+	restart := m.restartSeconds()
+	if opt.MTBF > 0 {
+		failRng = rand.New(rand.NewSource(seed ^ 0x6a09e667f3bcc908))
+		nextFail = make([]float64, nWorkers)
+		for wk := range nextFail {
+			nextFail[wk] = failRng.ExpFloat64() * opt.MTBF
+		}
+	}
 
 	backend := &coord.BackendFuncs{
 		NumWorkers: nWorkers,
@@ -180,18 +243,65 @@ func Simulate(w *Workload, m Machine, opt Options) (*Result, error) {
 				groupFree[g] = start + gsvc
 				begin = start + glat
 			}
+			begin = math.Max(begin, availableAt[wk]) // node still restarting
 			dur := secs[t.Poly]
 			if opt.Jitter > 0 {
 				dur *= 1 + opt.Jitter*(2*rng.Float64()-1)
 			}
+			dur *= inj.Straggle(wk, t.Poly, t.Step)
 			if begin < firstStart[t.Step] {
 				firstStart[t.Step] = begin
 			}
-			heap.Push(running, doneEvent{t: begin + dur, task: t, worker: wk})
+			if inj.WorkerDies(wk, tasksDone[wk]) {
+				// Injected node death: the attempt dies with the worker,
+				// which never comes back.
+				heap.Push(running, doneEvent{t: begin, task: t, worker: wk,
+					err: resilience.ErrWorkerDeath, down: true})
+				return
+			}
+			if nextFail != nil && nextFail[wk] < begin+dur {
+				// An MTBF failure strikes before the attempt completes
+				// (possibly while the node sat idle — the dispatch then
+				// fails on arrival). The work done so far is lost; the
+				// node restarts, or is gone with FailPermanent. The
+				// next failure is drawn from the moment the node is
+				// back up — downtime accrues no failures.
+				failAt := math.Max(begin, nextFail[wk])
+				nextFail[wk] = failAt + restart + failRng.ExpFloat64()*opt.MTBF
+				lostWork += failAt - begin
+				if !opt.FailPermanent {
+					availableAt[wk] = failAt + restart
+					restartOverhead += restart
+				}
+				heap.Push(running, doneEvent{t: failAt, task: t, worker: wk,
+					err: errNodeFailure, down: opt.FailPermanent})
+				return
+			}
+			if inj.FailTask(t.Poly, t.Step, meta.Attempt) {
+				// Injected task failure: the attempt runs to completion
+				// and its result is lost.
+				lostWork += dur
+				heap.Push(running, doneEvent{t: begin + dur, dur: dur, task: t, worker: wk,
+					err: resilience.ErrInjected})
+				return
+			}
+			heap.Push(running, doneEvent{t: begin + dur, dur: dur, task: t, worker: wk})
 		},
-		AwaitFn: func() (coord.Completion, error) {
+		AwaitFn: func(context.Context) (coord.Completion, error) {
 			ev := heap.Pop(running).(doneEvent)
 			now = ev.t
+			if ev.err != nil {
+				return coord.Completion{Worker: ev.worker, Task: ev.task,
+					Err:        fmt.Errorf("cluster: task %v on worker %d: %w", ev.task, ev.worker, ev.err),
+					WorkerDown: ev.down}, nil
+			}
+			tasksDone[ev.worker]++
+			if pol.Completed(ev.task) {
+				// Losing copy of a speculated task: its payload is
+				// dropped, the attempt's seconds join the lost work.
+				lostWork += ev.dur
+				return coord.Completion{Worker: ev.worker, Task: ev.task}, nil
+			}
 			completions++
 			if now > lastDone[ev.task.Step] {
 				lastDone[ev.task.Step] = now
@@ -200,7 +310,8 @@ func Simulate(w *Workload, m Machine, opt Options) (*Result, error) {
 			return coord.Completion{Worker: ev.worker, Task: ev.task}, nil
 		},
 	}
-	if err := coord.Run(pol, backend, nil); err != nil {
+	runStats, err := coord.RunContext(context.Background(), pol, backend, nil)
+	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 
@@ -215,6 +326,12 @@ func Simulate(w *Workload, m Machine, opt Options) (*Result, error) {
 		CoordBusy:  superBusy,
 		Batches:    pol.Batches(),
 		Steals:     pol.Steals(),
+
+		Recoveries:      runStats.Retries,
+		LostWork:        lostWork,
+		RestartOverhead: restartOverhead,
+		Evicted:         runStats.Evicted,
+		Speculated:      runStats.Speculated,
 	}
 	for t := 0; t < opt.Steps; t++ {
 		res.StepSeconds = append(res.StepSeconds, lastDone[t]-firstStart[t])

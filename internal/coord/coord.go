@@ -148,6 +148,18 @@ type Options struct {
 	// both empty steal the lower-priority half of the fullest peer
 	// group's queue.
 	Steal bool
+
+	// MaxRetries is the per-task failure budget: an attempt that a
+	// backend reports as failed (Completion.Err) is re-queued on a
+	// surviving worker at most MaxRetries times before the run aborts.
+	// 0 keeps the pre-resilience behaviour — the first failure is
+	// fatal.
+	MaxRetries int
+	// Speculate enables straggler re-dispatch: when workers sit idle
+	// with nothing ready, the oldest still-running task is dispatched a
+	// second time (at most one extra copy per task); the first copy to
+	// complete wins and the duplicate completion is dropped.
+	Speculate bool
 }
 
 // Hierarchical reports whether the options engage the group-coordinator
@@ -165,6 +177,13 @@ type DispatchMeta struct {
 	// Stolen, when > 0, is the number of tasks this group just stole
 	// from a peer.
 	Stolen int
+	// Attempt numbers the dispatches of this task: 0 for the first
+	// attempt, incremented for every retry and speculative copy.
+	// Failure injectors key their deterministic decisions on it.
+	Attempt int
+	// Speculative marks a straggler re-dispatch: the task is already
+	// running elsewhere and this copy races it.
+	Speculative bool
 }
 
 // Policy is the single-threaded scheduling state machine. All methods
@@ -184,7 +203,8 @@ type Policy struct {
 	monoPending []int32 // outstanding polymer results per monomer
 	globalMin   int32   // sync-mode barrier front
 
-	remaining int // tasks not yet completed
+	remaining int      // tasks not yet completed
+	done      []uint64 // completion bitset over task index (poly·Steps + step)
 	batches   int
 	steals    int
 }
@@ -202,6 +222,9 @@ func NewPolicy(g *Graph, opts Options) (*Policy, error) {
 	}
 	if opts.Batch < 0 {
 		return nil, fmt.Errorf("coord: batch size %d must not be negative", opts.Batch)
+	}
+	if opts.MaxRetries < 0 {
+		return nil, fmt.Errorf("coord: retry budget %d must not be negative", opts.MaxRetries)
 	}
 	p := &Policy{g: g, opts: opts}
 	p.groups = opts.Groups
@@ -224,6 +247,7 @@ func NewPolicy(g *Graph, opts Options) (*Policy, error) {
 		p.monoPending[mi] = int32(len(g.Touching[mi]))
 	}
 	p.remaining = g.NPoly() * opts.Steps
+	p.done = make([]uint64, (p.remaining+63)/64)
 	for pi := int32(0); pi < int32(g.NPoly()); pi++ {
 		p.tryEnqueue(pi)
 	}
@@ -244,6 +268,27 @@ func (p *Policy) Steals() int { return p.steals }
 
 // Done reports whether every task of every step has completed.
 func (p *Policy) Done() bool { return p.remaining == 0 }
+
+// taskIndex maps a task to its bit in the completion set.
+func (p *Policy) taskIndex(t Task) int { return int(t.Poly)*p.opts.Steps + int(t.Step) }
+
+// Completed reports whether task t has already completed. Backends use
+// it to drop the payload of late duplicate completions (a speculated
+// task finishing twice) before the driver sees them.
+func (p *Policy) Completed(t Task) bool {
+	i := p.taskIndex(t)
+	return p.done[i/64]&(1<<(i%64)) != 0
+}
+
+// Requeue puts a reclaimed task — a failed attempt, or work stranded on
+// an evicted worker — back on the super-coordinator's ready queue. A
+// task that already completed (its speculative twin won) is left alone.
+func (p *Policy) Requeue(t Task) {
+	if p.Completed(t) {
+		return
+	}
+	heap.Push(&p.ready, t)
+}
 
 // GroupOf maps a worker to its group coordinator (contiguous blocks).
 func (p *Policy) GroupOf(worker int) int { return worker * p.groups / p.opts.Workers }
@@ -340,8 +385,15 @@ func (p *Policy) Next(worker int) (t Task, m DispatchMeta, ok bool) {
 // Complete records that task t finished. For every monomer of t's touch
 // set whose last outstanding polymer this was, advanced fires (the live
 // backend integrates the monomer there) and the monomer's time step
-// advances, releasing newly ready polymers.
+// advances, releasing newly ready polymers. Completing a task twice is
+// a no-op (the driver drops duplicate completions before calling this,
+// but the bitset makes the invariant local).
 func (p *Policy) Complete(t Task, advanced func(mono, step int32)) {
+	i := p.taskIndex(t)
+	if p.done[i/64]&(1<<(i%64)) != 0 {
+		return
+	}
+	p.done[i/64] |= 1 << (i % 64)
 	p.remaining--
 	for _, mi := range p.g.Touch[t.Poly] {
 		p.monoPending[mi]--

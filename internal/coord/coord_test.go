@@ -1,6 +1,7 @@
 package coord
 
 import (
+	"context"
 	"testing"
 )
 
@@ -320,7 +321,7 @@ func TestRunCompletesAllTasks(t *testing.T) {
 		DispatchFn: func(w int, tk Task, _ DispatchMeta) {
 			pending = append(pending, Completion{Worker: w, Task: tk})
 		},
-		AwaitFn: func() (Completion, error) {
+		AwaitFn: func(context.Context) (Completion, error) {
 			c := pending[0]
 			pending = pending[1:]
 			completed[c.Task]++

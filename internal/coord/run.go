@@ -1,28 +1,48 @@
 package coord
 
-import "errors"
+import (
+	"context"
+	"errors"
+	"fmt"
+)
 
-// Completion is one finished task reported by a backend.
+// Completion is one finished attempt reported by a backend.
 type Completion struct {
 	Worker int
 	Task   Task
+	// Err, when non-nil, marks the attempt as failed: the task's result
+	// was lost and the driver will re-queue it against the retry budget
+	// (Options.MaxRetries). Backends must not have accumulated any
+	// payload for a failed attempt.
+	Err error
+	// WorkerDown reports that the worker died executing the attempt
+	// (injected death, simulated node loss). The driver evicts it —
+	// nothing is dispatched to it again — and reclaims the in-flight
+	// task. WorkerDown without Err marks a clean last completion before
+	// death; with Err the attempt itself was also lost.
+	WorkerDown bool
 }
 
 // Backend executes tasks on workers. Dispatch must not block (workers
 // handed tasks are known idle); Await blocks — in real time for the
 // live engine, in simulated time for the discrete-event simulator —
-// until the next task finishes. Backends accumulate their own payloads
-// (energies and gradients, or FLOPs and clocks) before Await returns,
-// so Run can release dependencies immediately afterwards.
+// until the next attempt finishes or the context is cancelled (the
+// escape hatch from a backend that will never complete a task).
+// Backends accumulate their own payloads (energies and gradients, or
+// FLOPs and clocks) before Await returns, so Run can release
+// dependencies immediately afterwards; payloads of failed attempts and
+// of duplicate completions of already-Completed tasks must be dropped,
+// not accumulated.
 type Backend interface {
 	// Workers returns the number of workers (must stay constant).
 	Workers() int
 	// Dispatch starts t on idle worker w; m carries the coordination
-	// events (batch refill, steal) that preceded the dispatch.
+	// events (batch refill, steal, attempt number, speculation) that
+	// preceded the dispatch.
 	Dispatch(w int, t Task, m DispatchMeta)
 	// Await returns the next completion, or an error that aborts the
-	// run.
-	Await() (Completion, error)
+	// run. A backend that can block in real time must honour ctx.
+	Await(ctx context.Context) (Completion, error)
 }
 
 // BackendFuncs adapts plain closures to the Backend interface, letting
@@ -30,18 +50,51 @@ type Backend interface {
 type BackendFuncs struct {
 	NumWorkers int
 	DispatchFn func(w int, t Task, m DispatchMeta)
-	AwaitFn    func() (Completion, error)
+	AwaitFn    func(ctx context.Context) (Completion, error)
 }
 
 func (b *BackendFuncs) Workers() int                           { return b.NumWorkers }
 func (b *BackendFuncs) Dispatch(w int, t Task, m DispatchMeta) { b.DispatchFn(w, t, m) }
-func (b *BackendFuncs) Await() (Completion, error)             { return b.AwaitFn() }
+func (b *BackendFuncs) Await(ctx context.Context) (Completion, error) {
+	return b.AwaitFn(ctx)
+}
 
-// Run drives the policy to completion over a backend: it offers work to
-// idle workers group by group, dispatches what is ready, then blocks on
-// the backend for the next completion and releases its dependants.
-// onAdvance fires whenever a monomer finishes a time step (the live
-// backend integrates there); it may be nil.
+// RunStats summarises the resilience events of one driver run.
+type RunStats struct {
+	// Retries counts failed attempts that were re-queued (each
+	// recovered unit of work, the simulator's Result.Recoveries).
+	Retries int
+	// Evicted counts workers removed from service after dying.
+	Evicted int
+	// Speculated counts extra straggler copies dispatched.
+	Speculated int
+	// Duplicates counts late completions dropped because the task had
+	// already completed on another worker.
+	Duplicates int
+}
+
+// Run drives the policy to completion over a backend with no deadline;
+// see RunContext.
+func Run(p *Policy, b Backend, onAdvance func(mono, step int32)) error {
+	_, err := RunContext(context.Background(), p, b, onAdvance)
+	return err
+}
+
+// RunContext drives the policy to completion over a backend: it offers
+// work to idle workers group by group, dispatches what is ready, then
+// blocks on the backend for the next completion and releases its
+// dependants. onAdvance fires whenever a monomer finishes a time step
+// (the live backend integrates there); it may be nil.
+//
+// Failure semantics: an attempt reported with Completion.Err is
+// re-queued on a surviving worker until the task's retry budget
+// (Options.MaxRetries) is exhausted; a completion with WorkerDown
+// evicts the worker and reclaims its in-flight task; with
+// Options.Speculate, idle workers with nothing ready re-run the oldest
+// in-flight task (one extra copy per task — the straggler defence) and
+// the losing copy's completion is dropped. The context bounds the whole
+// run: cancellation (or a deadline) aborts with a clear error instead
+// of wedging on a backend that never completes a task.
 //
 // Idle workers are tracked per group: once one worker of a group is
 // refused, the whole group is skipped for the rest of the sweep — a
@@ -50,18 +103,68 @@ func (b *BackendFuncs) Await() (Completion, error)             { return b.AwaitF
 // change mid-sweep. This keeps the sweep O(groups + dispatches) per
 // completion instead of O(idle workers), which matters when thousands
 // of simulated workers sit idle in a dispatch-bound phase.
-func Run(p *Policy, b Backend, onAdvance func(mono, step int32)) error {
+func RunContext(ctx context.Context, p *Policy, b Backend, onAdvance func(mono, step int32)) (RunStats, error) {
+	var st RunStats
 	nw := b.Workers()
 	if nw != p.opts.Workers {
-		return errors.New("coord: backend worker count differs from policy options")
+		return st, errors.New("coord: backend worker count differs from policy options")
 	}
 	idle := make([][]int, p.Groups())
 	for w := nw - 1; w >= 0; w-- {
 		g := p.GroupOf(w)
 		idle[g] = append(idle[g], w) // pop order: lowest worker first
 	}
+	alive := nw
 	inflight := 0
+	// attempts/retries/speculated only ever hold tasks that failed or
+	// were speculated — a vanishing fraction — and the speculation
+	// queue is head-trimmed as tasks complete (they complete in roughly
+	// dispatch order) and compacted, so the resilience bookkeeping
+	// stays proportional to the in-flight window, not the task count.
+	attempts := map[Task]int{} // next attempt number, absent = 0
+	retries := map[Task]int{}  // failed attempts per task
+	live := map[Task]int{}     // in-flight copies per task
+	speculated := map[Task]bool{}
+	var specQ []Task // primary dispatches in order, for straggler picks
+	specHead := 0
+
+	dispatch := func(w int, t Task, m DispatchMeta) {
+		m.Attempt = attempts[t]
+		b.Dispatch(w, t, m)
+		live[t]++
+		inflight++
+	}
+	// trimSpecQ drops completed/stale entries from the queue head and
+	// reclaims the consumed prefix once it dominates the backing array.
+	trimSpecQ := func() {
+		for specHead < len(specQ) {
+			t := specQ[specHead]
+			if !p.Completed(t) && !speculated[t] && live[t] > 0 {
+				break
+			}
+			specHead++
+		}
+		if specHead > 1024 && specHead*2 > len(specQ) {
+			specQ = append(specQ[:0], specQ[specHead:]...)
+			specHead = 0
+		}
+	}
+	// nextSpeculation pops the oldest in-flight, not-yet-duplicated
+	// task.
+	nextSpeculation := func() (Task, bool) {
+		trimSpecQ()
+		if specHead < len(specQ) {
+			t := specQ[specHead]
+			specHead++
+			return t, true
+		}
+		return Task{}, false
+	}
+
 	for !p.Done() {
+		if err := ctx.Err(); err != nil {
+			return st, fmt.Errorf("coord: run cancelled with %d tasks outstanding: %w", p.remaining, err)
+		}
 		for g := range idle {
 			for len(idle[g]) > 0 {
 				w := idle[g][len(idle[g])-1]
@@ -69,25 +172,80 @@ func Run(p *Policy, b Backend, onAdvance func(mono, step int32)) error {
 				if !ok {
 					break
 				}
-				b.Dispatch(w, t, m)
 				idle[g] = idle[g][:len(idle[g])-1]
-				inflight++
+				dispatch(w, t, m)
+				if p.opts.Speculate {
+					specQ = append(specQ, t)
+				}
+			}
+		}
+		if p.opts.Speculate {
+			for g := range idle {
+				for len(idle[g]) > 0 {
+					t, ok := nextSpeculation()
+					if !ok {
+						break
+					}
+					w := idle[g][len(idle[g])-1]
+					idle[g] = idle[g][:len(idle[g])-1]
+					speculated[t] = true
+					attempts[t]++
+					st.Speculated++
+					dispatch(w, t, DispatchMeta{Group: p.GroupOf(w), Speculative: true})
+				}
 			}
 		}
 		if inflight == 0 {
 			if p.Done() {
 				break
 			}
-			return errors.New("coord: deadlock — no ready tasks and none in flight")
+			if alive == 0 {
+				return st, fmt.Errorf("coord: every worker evicted with %d tasks outstanding", p.remaining)
+			}
+			return st, errors.New("coord: deadlock — no ready tasks and none in flight")
 		}
-		c, err := b.Await()
+		c, err := b.Await(ctx)
 		if err != nil {
-			return err
+			return st, err
 		}
 		inflight--
-		g := p.GroupOf(c.Worker)
-		idle[g] = append(idle[g], c.Worker)
-		p.Complete(c.Task, onAdvance)
+		live[c.Task]--
+		if live[c.Task] == 0 {
+			delete(live, c.Task)
+		}
+		if c.WorkerDown {
+			st.Evicted++
+			alive--
+		} else {
+			g := p.GroupOf(c.Worker)
+			idle[g] = append(idle[g], c.Worker)
+		}
+		switch {
+		case c.Err != nil:
+			if p.Completed(c.Task) || live[c.Task] > 0 {
+				// A twin copy already delivered the result, or is still
+				// running and may yet deliver it: this copy's failure
+				// neither burns the retry budget nor aborts anything —
+				// speculation is an optimisation, never a new way to
+				// fail.
+				break
+			}
+			retries[c.Task]++
+			if retries[c.Task] > p.opts.MaxRetries {
+				return st, fmt.Errorf("coord: task %v failed %d times, retry budget %d exhausted: %w",
+					c.Task, retries[c.Task], p.opts.MaxRetries, c.Err)
+			}
+			st.Retries++
+			attempts[c.Task]++
+			p.Requeue(c.Task)
+		case p.Completed(c.Task):
+			st.Duplicates++ // losing copy of a speculated task
+		default:
+			p.Complete(c.Task, onAdvance)
+		}
+		if p.opts.Speculate {
+			trimSpecQ()
+		}
 	}
-	return nil
+	return st, nil
 }

@@ -1,0 +1,351 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scriptedBackend completes attempts in dispatch order, failing the
+// attempts a script marks, and records every dispatch.
+type scriptedBackend struct {
+	workers    int
+	fail       func(t Task, attempt int) (fail, down bool)
+	dispatches []Task
+	byWorker   map[int]int
+	pending    []Completion
+}
+
+func (b *scriptedBackend) Workers() int { return b.workers }
+func (b *scriptedBackend) Dispatch(w int, t Task, m DispatchMeta) {
+	b.dispatches = append(b.dispatches, t)
+	if b.byWorker == nil {
+		b.byWorker = map[int]int{}
+	}
+	b.byWorker[w]++
+	c := Completion{Worker: w, Task: t}
+	if b.fail != nil {
+		if fail, down := b.fail(t, m.Attempt); fail {
+			c.Err = errors.New("scripted failure")
+			c.WorkerDown = down
+		}
+	}
+	b.pending = append(b.pending, c)
+}
+func (b *scriptedBackend) Await(context.Context) (Completion, error) {
+	c := b.pending[0]
+	b.pending = b.pending[1:]
+	return c, nil
+}
+
+// A failed attempt within the retry budget is re-queued and the run
+// still completes every task exactly once.
+func TestRunRetriesFailedAttempts(t *testing.T) {
+	g := chainGraph(t, 5, true)
+	p, err := NewPolicy(g, Options{Steps: 2, Workers: 2, MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every task's first attempt fails; retries succeed.
+	b := &scriptedBackend{workers: 2, fail: func(_ Task, attempt int) (bool, bool) {
+		return attempt == 0, false
+	}}
+	st, err := RunContext(context.Background(), p, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.NPoly() * 2
+	if st.Retries != want {
+		t.Errorf("Retries = %d, want %d (every task failed once)", st.Retries, want)
+	}
+	if !p.Done() {
+		t.Error("policy not done after retried run")
+	}
+	if len(b.dispatches) != 2*want {
+		t.Errorf("dispatched %d attempts, want %d", len(b.dispatches), 2*want)
+	}
+}
+
+// Exhausting the retry budget aborts the run with the task named.
+func TestRunRetryBudgetExhausted(t *testing.T) {
+	g := chainGraph(t, 3, false)
+	p, err := NewPolicy(g, Options{Steps: 1, Workers: 1, MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &scriptedBackend{workers: 1, fail: func(tk Task, _ int) (bool, bool) {
+		return tk.Poly == 1, false // polymer 1 always fails
+	}}
+	_, err = RunContext(context.Background(), p, b, nil)
+	if err == nil {
+		t.Fatal("run succeeded despite an always-failing task")
+	}
+	if !strings.Contains(err.Error(), "retry budget") {
+		t.Errorf("error %q does not name the retry budget", err)
+	}
+}
+
+// A worker that dies is evicted — no further dispatches — and its
+// in-flight task is reclaimed onto a survivor.
+func TestRunEvictsDeadWorker(t *testing.T) {
+	g := chainGraph(t, 6, false)
+	p, err := NewPolicy(g, Options{Steps: 2, Workers: 3, MaxRetries: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	died := false
+	b := &scriptedBackend{workers: 3}
+	b.fail = func(tk Task, _ int) (bool, bool) {
+		if !died && tk.Poly == 2 {
+			died = true
+			return true, true // worker dies with polymer 2's first attempt
+		}
+		return false, false
+	}
+	st, err := RunContext(context.Background(), p, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evicted != 1 {
+		t.Errorf("Evicted = %d, want 1", st.Evicted)
+	}
+	if st.Retries != 1 {
+		t.Errorf("Retries = %d, want 1 (the reclaimed in-flight task)", st.Retries)
+	}
+	if !p.Done() {
+		t.Error("policy not done after eviction")
+	}
+}
+
+// When every worker dies the run aborts instead of wedging.
+func TestRunAllWorkersEvicted(t *testing.T) {
+	g := chainGraph(t, 4, false)
+	p, err := NewPolicy(g, Options{Steps: 1, Workers: 2, MaxRetries: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &scriptedBackend{workers: 2, fail: func(Task, int) (bool, bool) { return true, true }}
+	_, err = RunContext(context.Background(), p, b, nil)
+	if err == nil || !strings.Contains(err.Error(), "evicted") {
+		t.Fatalf("got %v, want an every-worker-evicted error", err)
+	}
+}
+
+// slowBackend finishes one designated straggler task only after the
+// context dies; everything else completes instantly. With Speculate the
+// straggler's duplicate copy completes and the run finishes.
+type slowBackend struct {
+	workers  int
+	straggle Task
+	pending  []Completion
+	held     int // attempts of the straggler swallowed (never complete)
+}
+
+func (b *slowBackend) Workers() int { return b.workers }
+func (b *slowBackend) Dispatch(w int, t Task, m DispatchMeta) {
+	if t == b.straggle && !m.Speculative {
+		b.held++ // primary copy hangs forever
+		return
+	}
+	b.pending = append(b.pending, Completion{Worker: w, Task: t})
+}
+func (b *slowBackend) Await(ctx context.Context) (Completion, error) {
+	if len(b.pending) == 0 {
+		<-ctx.Done()
+		return Completion{}, ctx.Err()
+	}
+	c := b.pending[0]
+	b.pending = b.pending[1:]
+	return c, nil
+}
+
+func TestRunSpeculatesAgainstStraggler(t *testing.T) {
+	g := chainGraph(t, 6, false)
+	p, err := NewPolicy(g, Options{Steps: 1, Workers: 2, Speculate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &slowBackend{workers: 2, straggle: Task{Poly: 3, Step: 0}}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	st, err := RunContext(ctx, p, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Speculated == 0 {
+		t.Error("no speculative copies dispatched against the straggler")
+	}
+	if b.held != 1 {
+		t.Errorf("straggler primary dispatched %d times, want 1", b.held)
+	}
+	if !p.Done() {
+		t.Error("policy not done: speculation failed to cover the straggler")
+	}
+}
+
+// Late completions of a task that a speculative copy already finished
+// are dropped, not double-completed: monomer X's step-0 primary attempt
+// straggles until after its speculative copy has completed and step 1
+// is already in flight, then lands as a duplicate.
+func TestRunDropsDuplicateCompletions(t *testing.T) {
+	g := chainGraph(t, 2, false) // monomers X=0, Y=1
+	p, err := NewPolicy(g, Options{Steps: 2, Workers: 2, Speculate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := Task{Poly: 0, Step: 0}
+	var pending []Completion
+	held := false
+	b := &BackendFuncs{NumWorkers: 2}
+	b.DispatchFn = func(w int, tk Task, m DispatchMeta) {
+		c := Completion{Worker: w, Task: tk}
+		if tk == x0 && !m.Speculative {
+			held = true // the straggling primary: hold its completion
+			return
+		}
+		pending = append(pending, c)
+		if tk == x0 && m.Speculative && held {
+			// The held primary limps in right after the speculative
+			// copy completes.
+			pending = append(pending, Completion{Worker: 0, Task: x0})
+			held = false
+		}
+	}
+	b.AwaitFn = func(context.Context) (Completion, error) {
+		c := pending[0]
+		pending = pending[1:]
+		return c, nil
+	}
+	st, err := RunContext(context.Background(), p, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Duplicates == 0 {
+		t.Error("the straggling primary's late completion was not counted as a duplicate")
+	}
+	if st.Speculated == 0 {
+		t.Error("no speculative copies dispatched")
+	}
+	if !p.Done() {
+		t.Error("policy not done")
+	}
+}
+
+// A failed speculative copy must not burn the retry budget or abort
+// the run while the task's healthy primary copy is still running —
+// speculation is an optimisation, never a new way to fail.
+func TestRunSpeculativeFailureDoesNotBurnBudget(t *testing.T) {
+	g := chainGraph(t, 2, false) // monomers X=0, Y=1
+	p, err := NewPolicy(g, Options{Steps: 2, Workers: 2, Speculate: true, MaxRetries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := Task{Poly: 0, Step: 0}
+	var pending []Completion
+	held := false
+	b := &BackendFuncs{NumWorkers: 2}
+	b.DispatchFn = func(w int, tk Task, m DispatchMeta) {
+		c := Completion{Worker: w, Task: tk}
+		if tk == x0 && !m.Speculative {
+			held = true // straggling primary: completion deferred
+			return
+		}
+		if tk == x0 && m.Speculative {
+			c.Err = errors.New("speculative copy failed")
+		}
+		pending = append(pending, c)
+		if tk == x0 && m.Speculative && held {
+			// The healthy primary limps in right after its copy fails.
+			pending = append(pending, Completion{Worker: 0, Task: x0})
+			held = false
+		}
+	}
+	b.AwaitFn = func(context.Context) (Completion, error) {
+		c := pending[0]
+		pending = pending[1:]
+		return c, nil
+	}
+	st, err := RunContext(context.Background(), p, b, nil)
+	if err != nil {
+		t.Fatalf("speculative copy's failure aborted a run whose primary succeeded: %v", err)
+	}
+	if st.Speculated == 0 {
+		t.Error("no speculation happened — test is vacuous")
+	}
+	if st.Retries != 0 {
+		t.Errorf("Retries = %d, want 0 (the primary delivered, nothing was re-queued)", st.Retries)
+	}
+	if !p.Done() {
+		t.Error("policy not done")
+	}
+}
+
+// The barrier-wedge fix: a backend that never completes a task no
+// longer hangs Run forever — the context deadline aborts with a clear
+// error naming the outstanding work.
+func TestRunContextDeadlineUnwedges(t *testing.T) {
+	g := chainGraph(t, 3, false)
+	p, err := NewPolicy(g, Options{Steps: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &BackendFuncs{
+		NumWorkers: 1,
+		DispatchFn: func(int, Task, DispatchMeta) {}, // swallow the task
+		AwaitFn: func(ctx context.Context) (Completion, error) {
+			<-ctx.Done() // a wedged backend at least honours ctx
+			return Completion{}, ctx.Err()
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, p, b, nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("wedged run reported success")
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("got %v, want a deadline error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunContext still wedged 5s after its deadline")
+	}
+}
+
+// Requeue of an already-completed task is a no-op, and Completed
+// reflects Complete.
+func TestCompletedAndRequeue(t *testing.T) {
+	g := chainGraph(t, 2, false)
+	p, err := NewPolicy(g, Options{Steps: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, _, ok := p.Next(0)
+	if !ok {
+		t.Fatal("no task ready")
+	}
+	if p.Completed(tk) {
+		t.Error("task completed before Complete")
+	}
+	p.Complete(tk, nil)
+	if !p.Completed(tk) {
+		t.Error("task not completed after Complete")
+	}
+	before := p.ready.Len()
+	p.Requeue(tk)
+	if p.ready.Len() != before {
+		t.Error("Requeue re-queued a completed task")
+	}
+	remaining := p.remaining
+	p.Complete(tk, nil) // double-complete must be a no-op
+	if p.remaining != remaining {
+		t.Error("double Complete decremented remaining twice")
+	}
+}

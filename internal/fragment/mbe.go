@@ -35,8 +35,10 @@ type StatefulEvaluator interface {
 // the energy, gradient, SCF iteration count, and whether the
 // evaluation was skipped. It is shared by the serial Compute path and
 // the asynchronous scheduler (which calls it from concurrent workers —
-// the cache synchronises internally, and a given polymer key is never
-// evaluated concurrently with itself under either driver).
+// the cache synchronises internally). Under straggler speculation the
+// scheduler may evaluate the same polymer key concurrently with itself
+// on the same geometry; both copies converge to equivalent states and
+// the cache keeps whichever Put lands last, so the race is benign.
 func EvaluateWithCache(eval Evaluator, cache *warmstart.Cache, key string, g *molecule.Geometry) (float64, []float64, int, bool, error) {
 	if cache != nil {
 		if st, ok := cache.Reuse(key, g); ok {

@@ -1,0 +1,304 @@
+package resilience
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/fragmd/fragmd/internal/linalg"
+	"github.com/fragmd/fragmd/internal/md"
+	"github.com/fragmd/fragmd/internal/molecule"
+	"github.com/fragmd/fragmd/internal/warmstart"
+)
+
+// SchemaVersion is the checkpoint schema this build writes. Load
+// accepts any version up to it (older schemas only add fields) and
+// rejects newer ones with a clear error.
+const SchemaVersion = 1
+
+// checkpointMagic identifies a fragmd checkpoint envelope.
+const checkpointMagic = "fragmd-checkpoint"
+
+// ErrCorrupt marks a checkpoint whose payload failed its checksum or
+// could not be decoded — a truncated write, bit rot, or an unrelated
+// file.
+var ErrCorrupt = errors.New("resilience: corrupt checkpoint")
+
+// ThermostatState snapshots a Berendsen thermostat so NVT
+// equilibration resumes with the same coupling. The NVE engine never
+// sets it; callers running md.VelocityVerlet.RunNVT equilibration
+// populate it themselves through the exported field.
+type ThermostatState struct {
+	TargetK float64 `json:"target_k"`
+	TauFs   float64 `json:"tau_fs"`
+}
+
+// MatState is a serialised dense matrix (row-major, like linalg.Mat).
+type MatState struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+func matState(m *linalg.Mat) *MatState {
+	if m == nil {
+		return nil
+	}
+	return &MatState{Rows: m.Rows, Cols: m.Cols, Data: append([]float64(nil), m.Data...)}
+}
+
+func (ms *MatState) mat() (*linalg.Mat, error) {
+	if ms == nil {
+		return nil, nil
+	}
+	if ms.Rows < 0 || ms.Cols < 0 || len(ms.Data) != ms.Rows*ms.Cols {
+		return nil, fmt.Errorf("%w: matrix %dx%d with %d elements", ErrCorrupt, ms.Rows, ms.Cols, len(ms.Data))
+	}
+	return linalg.NewMatFrom(ms.Rows, ms.Cols, ms.Data), nil
+}
+
+// WarmEntry is one polymer's checkpointed warm-start state
+// (warmstart.State with the matrices flattened for JSON).
+type WarmEntry struct {
+	Key      string    `json:"key"`
+	Zs       []int     `json:"zs"`
+	Pos      []float64 `json:"pos"`
+	Energy   float64   `json:"energy"`
+	Grad     []float64 `json:"grad,omitempty"`
+	D        *MatState `json:"d,omitempty"`
+	C        *MatState `json:"c,omitempty"`
+	Basis    string    `json:"basis,omitempty"`
+	NBf      int       `json:"nbf,omitempty"`
+	NAux     int       `json:"naux,omitempty"`
+	NOcc     int       `json:"nocc,omitempty"`
+	SCFIters int       `json:"scf_iters,omitempty"`
+}
+
+// Checkpoint is a schema-versioned snapshot of a trajectory: the MD
+// state (positions, velocities, masses, atomic numbers), the
+// integration/RNG metadata needed to continue the run, and optionally
+// the warm-start cache so the resumed run keeps its incremental-SCF
+// advantage.
+type Checkpoint struct {
+	// StepsDone counts completed force evaluations: the state sits at
+	// trajectory step StepsDone−1, fully integrated. A resumed engine
+	// re-evaluates forces at that geometry as its local step 0 (the
+	// same boundary semantics as chaining two Engine.Run calls), so
+	// energies reproduce the uninterrupted trajectory.
+	StepsDone int `json:"steps_done"`
+	// TotalSteps is the intended trajectory length (0 = open-ended);
+	// resume surfaces a mismatch against the requested length.
+	TotalSteps int `json:"total_steps,omitempty"`
+	// Dt is the time step in atomic units. Resuming at a different dt
+	// breaks trajectory reproduction, so consumers must validate it
+	// (cmd/fragmd refuses the mismatch).
+	Dt float64 `json:"dt"`
+	// Seed records the RNG seed the trajectory's velocities were
+	// sampled with — provenance for reproducing the run from scratch;
+	// the resumed dynamics itself is deterministic and reads the
+	// velocities, not the seed.
+	Seed int64 `json:"seed,omitempty"`
+
+	Zs     []int     `json:"atomic_numbers"`
+	Pos    []float64 `json:"pos"` // 3N, Bohr
+	Vel    []float64 `json:"vel"` // 3N, atomic units
+	Masses []float64 `json:"masses"`
+
+	Thermostat *ThermostatState `json:"thermostat,omitempty"`
+	Warm       []WarmEntry      `json:"warm,omitempty"`
+}
+
+// Snapshot captures a trajectory checkpoint from an MD state after
+// stepsDone completed force evaluations.
+func Snapshot(state *md.State, stepsDone int, dt float64) *Checkpoint {
+	n := state.Geom.N()
+	ck := &Checkpoint{
+		StepsDone: stepsDone,
+		Dt:        dt,
+		Zs:        make([]int, n),
+		Pos:       make([]float64, 3*n),
+		Vel:       make([]float64, 3*n),
+		Masses:    append([]float64(nil), state.Masses...),
+	}
+	for i, a := range state.Geom.Atoms {
+		ck.Zs[i] = a.Z
+		for k := 0; k < 3; k++ {
+			ck.Pos[3*i+k] = a.Pos[k]
+			ck.Vel[3*i+k] = state.Vel[i][k]
+		}
+	}
+	return ck
+}
+
+// AttachCache records the warm-start cache's states in the checkpoint,
+// in deterministic key order so identical runs write identical bytes.
+func (ck *Checkpoint) AttachCache(c *warmstart.Cache) {
+	if c == nil {
+		return
+	}
+	states := c.Export()
+	keys := make([]string, 0, len(states))
+	for k := range states {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ck.Warm = ck.Warm[:0]
+	for _, k := range keys {
+		st := states[k]
+		ck.Warm = append(ck.Warm, WarmEntry{
+			Key: k, Zs: st.Zs, Pos: st.Pos, Energy: st.Energy, Grad: st.Grad,
+			D: matState(st.D), C: matState(st.C),
+			Basis: st.Basis, NBf: st.NBf, NAux: st.NAux, NOcc: st.NOcc,
+			SCFIters: st.SCFIters,
+		})
+	}
+}
+
+// State rebuilds the MD state the checkpoint was taken from.
+func (ck *Checkpoint) State() (*md.State, error) {
+	n := len(ck.Zs)
+	if n == 0 || len(ck.Pos) != 3*n || len(ck.Vel) != 3*n {
+		return nil, fmt.Errorf("%w: %d atoms with %d positions, %d velocities",
+			ErrCorrupt, n, len(ck.Pos), len(ck.Vel))
+	}
+	g := molecule.New()
+	for i, z := range ck.Zs {
+		g.AddAtom(z, ck.Pos[3*i], ck.Pos[3*i+1], ck.Pos[3*i+2])
+	}
+	s := md.NewState(g)
+	for i := range s.Vel {
+		for k := 0; k < 3; k++ {
+			s.Vel[i][k] = ck.Vel[3*i+k]
+		}
+	}
+	if len(ck.Masses) == n {
+		copy(s.Masses, ck.Masses)
+	}
+	return s, nil
+}
+
+// Matches reports whether the checkpoint was taken from a system with
+// the same atom list (count and atomic numbers, in order) as g.
+func (ck *Checkpoint) Matches(g *molecule.Geometry) bool {
+	if g.N() != len(ck.Zs) {
+		return false
+	}
+	for i, a := range g.Atoms {
+		if a.Z != ck.Zs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RestoreCache installs the checkpoint's warm states into a cache
+// (typically a fresh one configured with the run's skip tolerance).
+func (ck *Checkpoint) RestoreCache(c *warmstart.Cache) error {
+	if c == nil || len(ck.Warm) == 0 {
+		return nil
+	}
+	states := make(map[string]*warmstart.State, len(ck.Warm))
+	for _, we := range ck.Warm {
+		d, err := we.D.mat()
+		if err != nil {
+			return fmt.Errorf("warm entry %s: %w", we.Key, err)
+		}
+		cm, err := we.C.mat()
+		if err != nil {
+			return fmt.Errorf("warm entry %s: %w", we.Key, err)
+		}
+		states[we.Key] = &warmstart.State{
+			Zs: we.Zs, Pos: we.Pos, Energy: we.Energy, Grad: we.Grad,
+			D: d, C: cm, Basis: we.Basis, NBf: we.NBf, NAux: we.NAux,
+			NOcc: we.NOcc, SCFIters: we.SCFIters,
+		}
+	}
+	c.Restore(states)
+	return nil
+}
+
+// envelope wraps the checkpoint payload with the integrity metadata
+// checked before any field is trusted.
+type envelope struct {
+	Magic   string          `json:"magic"`
+	Schema  int             `json:"schema"`
+	CRC32C  uint32          `json:"crc32c"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Save writes the checkpoint to path atomically: the envelope is
+// marshalled with a Castagnoli CRC over the payload bytes, written to a
+// temporary file in the same directory, synced, and renamed over path —
+// a crash mid-write leaves either the old checkpoint or none, never a
+// torn one.
+func Save(path string, ck *Checkpoint) error {
+	payload, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("resilience: encode checkpoint: %w", err)
+	}
+	blob, err := json.Marshal(envelope{
+		Magic:   checkpointMagic,
+		Schema:  SchemaVersion,
+		CRC32C:  crc32.Checksum(payload, castagnoli),
+		Payload: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("resilience: encode envelope: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("resilience: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resilience: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resilience: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("resilience: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("resilience: publish checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads and verifies a checkpoint: magic, schema version, and the
+// payload checksum are all checked before decoding, so corruption
+// surfaces as ErrCorrupt instead of a silently wrong trajectory.
+func Load(path string) (*Checkpoint, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: %w", err)
+	}
+	var env envelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		return nil, fmt.Errorf("%w: %s is not a checkpoint envelope: %v", ErrCorrupt, path, err)
+	}
+	if env.Magic != checkpointMagic {
+		return nil, fmt.Errorf("%w: %s has magic %q, want %q", ErrCorrupt, path, env.Magic, checkpointMagic)
+	}
+	if env.Schema > SchemaVersion {
+		return nil, fmt.Errorf("resilience: %s uses checkpoint schema %d; this build reads ≤ %d",
+			path, env.Schema, SchemaVersion)
+	}
+	if got := crc32.Checksum(env.Payload, castagnoli); got != env.CRC32C {
+		return nil, fmt.Errorf("%w: %s checksum %08x, recorded %08x", ErrCorrupt, path, got, env.CRC32C)
+	}
+	var ck Checkpoint
+	if err := json.Unmarshal(env.Payload, &ck); err != nil {
+		return nil, fmt.Errorf("%w: %s payload: %v", ErrCorrupt, path, err)
+	}
+	return &ck, nil
+}

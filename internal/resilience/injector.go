@@ -1,0 +1,149 @@
+// Package resilience makes long fragmd trajectories survivable: it
+// provides schema-versioned, atomically-written, checksummed trajectory
+// checkpoints (Save/Load/Checkpoint.State — the restart half) and a
+// seeded deterministic FailureInjector (the failure half) that both
+// scheduler backends use to rehearse the node failures that are routine
+// on hour-scale full-machine runs (the regime of the paper's
+// million-electron trajectories, where the coordinator must tolerate
+// lost workers the way Schade et al. and Jia et al. treat resilience as
+// first-class).
+//
+// Injected decisions are pure functions of the seed and stable
+// identifiers — (polymer, step, attempt) for task failures, (worker,
+// completed-count) for deaths, (worker, polymer, step) for stragglers —
+// never of call order or goroutine interleaving. A fixed seed therefore
+// produces the same failure pattern in the live engine and the
+// discrete-event simulator, which is what makes chaos tests assertable:
+// identical final energies, identical dispatch traces.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInjected marks a task attempt failed by the injector; the
+// scheduler retries it against the task's budget like any real failure.
+var ErrInjected = errors.New("resilience: injected task failure")
+
+// ErrWorkerDeath marks an attempt lost to an injected worker death.
+var ErrWorkerDeath = errors.New("resilience: injected worker death")
+
+// InjectOptions configures a FailureInjector.
+type InjectOptions struct {
+	// Seed selects the deterministic failure pattern; 0 selects 1.
+	Seed int64
+	// TaskFailProb is the probability that any given attempt of a task
+	// fails (decided per (polymer, step, attempt) — retries of a failed
+	// attempt redraw).
+	TaskFailProb float64
+	// WorkerDeathProb is the probability that a worker dies when
+	// starting its n-th task (decided per (worker, n)); the attempt it
+	// was handed is lost with it.
+	WorkerDeathProb float64
+	// DeadWorkers explicitly kills workers after a fixed number of
+	// completed tasks: worker w dies when starting its (DeadWorkers[w]+1)-th
+	// task. Deterministic and test-friendly; independent of
+	// WorkerDeathProb.
+	DeadWorkers map[int]int
+	// StragglerProb is the probability a (worker, task) pairing runs
+	// slow; StragglerFactor is its runtime multiplier (≥ 1; 0 selects
+	// 8×).
+	StragglerProb   float64
+	StragglerFactor float64
+}
+
+// FailureInjector makes seeded, order-independent failure decisions.
+// It is immutable after construction and safe for concurrent use.
+type FailureInjector struct {
+	opts InjectOptions
+	seed uint64
+}
+
+// NewFailureInjector validates the options and builds an injector.
+func NewFailureInjector(o InjectOptions) (*FailureInjector, error) {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"TaskFailProb", o.TaskFailProb},
+		{"WorkerDeathProb", o.WorkerDeathProb},
+		{"StragglerProb", o.StragglerProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return nil, fmt.Errorf("resilience: %s %g outside 0..1", p.name, p.v)
+		}
+	}
+	if o.StragglerFactor < 0 || (o.StragglerFactor > 0 && o.StragglerFactor < 1) {
+		return nil, fmt.Errorf("resilience: straggler factor %g must be ≥ 1", o.StragglerFactor)
+	}
+	if o.StragglerFactor == 0 {
+		o.StragglerFactor = 8
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &FailureInjector{opts: o, seed: uint64(seed)}, nil
+}
+
+// Options returns the injector's configuration.
+func (fi *FailureInjector) Options() InjectOptions { return fi.opts }
+
+// FailTask reports whether the given attempt of task (poly, step)
+// fails.
+func (fi *FailureInjector) FailTask(poly, step int32, attempt int) bool {
+	if fi == nil {
+		return false
+	}
+	return fi.chance(fi.opts.TaskFailProb, 0xf417, uint64(uint32(poly)), uint64(uint32(step)), uint64(attempt))
+}
+
+// WorkerDies reports whether worker w dies when starting the task after
+// having completed `completed` tasks.
+func (fi *FailureInjector) WorkerDies(worker, completed int) bool {
+	if fi == nil {
+		return false
+	}
+	if after, ok := fi.opts.DeadWorkers[worker]; ok && completed >= after {
+		return true
+	}
+	return fi.chance(fi.opts.WorkerDeathProb, 0xdead, uint64(worker), uint64(completed))
+}
+
+// Straggle returns the runtime multiplier for task (poly, step) on the
+// given worker: 1 for a healthy pairing, StragglerFactor for an
+// injected straggler.
+func (fi *FailureInjector) Straggle(worker int, poly, step int32) float64 {
+	if fi == nil {
+		return 1
+	}
+	if fi.chance(fi.opts.StragglerProb, 0x510e, uint64(worker), uint64(uint32(poly)), uint64(uint32(step))) {
+		return fi.opts.StragglerFactor
+	}
+	return 1
+}
+
+// chance draws a deterministic Bernoulli from the hashed identifiers.
+func (fi *FailureInjector) chance(p float64, ids ...uint64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	h := fi.seed
+	for _, id := range ids {
+		h = splitmix64(h ^ id)
+	}
+	return float64(h>>11)/float64(1<<53) < p
+}
+
+// splitmix64 is the standard 64-bit finaliser (Steele et al.),
+// well-mixed enough that consecutive identifiers decorrelate.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

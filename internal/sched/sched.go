@@ -25,6 +25,7 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -34,6 +35,7 @@ import (
 	"github.com/fragmd/fragmd/internal/coord"
 	"github.com/fragmd/fragmd/internal/fragment"
 	"github.com/fragmd/fragmd/internal/md"
+	"github.com/fragmd/fragmd/internal/resilience"
 	"github.com/fragmd/fragmd/internal/warmstart"
 )
 
@@ -86,6 +88,25 @@ type Options struct {
 	// bound apply, and WarmStart/SkipTol/MaxSkip here are ignored.
 	Cache *warmstart.Cache
 
+	// MaxRetries is the per-task failure budget: an evaluation that
+	// fails (evaluator error, evaluator panic, injected failure) is
+	// re-queued on a surviving worker at most MaxRetries times before
+	// the run aborts. 0 keeps failures fatal on first occurrence.
+	MaxRetries int
+	// Speculate re-dispatches the oldest still-running task to an
+	// otherwise idle worker (one extra copy per task) — the straggler
+	// defence; the losing copy's result is dropped, so energies are
+	// unchanged.
+	Speculate bool
+	// Timeout bounds a whole Run call: when > 0 and the deadline
+	// passes, Run returns a clear error instead of wedging on a worker
+	// that never reports (the barrier-wedge fix).
+	Timeout time.Duration
+	// Injector, when non-nil, injects seeded deterministic failures —
+	// task-level failures, worker deaths, slow-worker stragglers — for
+	// chaos testing. See internal/resilience.
+	Injector *resilience.FailureInjector
+
 	// TraceDispatch, when non-nil, observes every dispatch in order —
 	// the policy-equivalence test hook shared with the cluster
 	// simulator.
@@ -119,6 +140,7 @@ type Engine struct {
 	graph    *coord.Graph
 	refMono  int
 	cache    *warmstart.Cache // nil unless WarmStart/SkipTol configured
+	runStats coord.RunStats   // resilience events of the last Run
 }
 
 // Cache returns the engine's warm-start cache (nil when incremental
@@ -130,6 +152,10 @@ func (e *Engine) Cache() *warmstart.Cache { return e.cache }
 // internal/coord representation).
 func (e *Engine) Graph() *coord.Graph { return e.graph }
 
+// RunStats reports the resilience events — retries, evictions,
+// speculative dispatches, dropped duplicates — of the most recent Run.
+func (e *Engine) RunStats() coord.RunStats { return e.runStats }
+
 type result struct {
 	worker  int
 	task    coord.Task
@@ -137,6 +163,7 @@ type result struct {
 	grad    []float64
 	ex      *fragment.Extracted
 	err     error
+	down    bool // the worker died with this attempt
 	iters   int  // SCF iterations of this evaluation
 	skipped bool // cached energy/gradient reused, no evaluation
 }
@@ -153,6 +180,9 @@ func New(f *fragment.Fragmentation, eval fragment.Evaluator, opts Options) (*Eng
 	}
 	if opts.Batch < 0 {
 		return nil, fmt.Errorf("sched: batch size %d must not be negative", opts.Batch)
+	}
+	if opts.MaxRetries < 0 {
+		return nil, fmt.Errorf("sched: retry budget %d must not be negative", opts.MaxRetries)
 	}
 	if opts.Workers == 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
@@ -204,6 +234,18 @@ func New(f *fragment.Fragmentation, eval fragment.Evaluator, opts Options) (*Eng
 // monoState tracks one monomer through the asynchronous trajectory.
 type monoState struct {
 	pos map[int][]float64 // step → flat positions of the monomer's atoms
+}
+
+// evalSafe runs one polymer evaluation, converting an evaluator panic
+// into a failed attempt the coordinator can retry instead of a dead
+// worker goroutine that wedges the run.
+func (e *Engine) evalSafe(key string, ex *fragment.Extracted) (en float64, gr []float64, iters int, skipped bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: evaluator panic: %v", r)
+		}
+	}()
+	return fragment.EvaluateWithCache(e.Eval, e.cache, key, ex.Geom)
 }
 
 // Run integrates n time steps (n force evaluations per monomer) starting
@@ -270,6 +312,7 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 	pol, err := coord.NewPolicy(e.graph, coord.Options{
 		Steps: n, Workers: e.Opts.Workers, Sync: !e.Opts.Async,
 		Groups: e.Opts.Groups, Batch: e.Opts.Batch, Steal: e.Opts.Steal,
+		MaxRetries: e.Opts.MaxRetries, Speculate: e.Opts.Speculate,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sched: %w", err)
@@ -279,17 +322,36 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 	// task while idle, so sends never block), one shared result channel
 	// buffered for every worker to finish without a reader.
 	type liveTask struct {
-		task coord.Task
-		ex   *fragment.Extracted
+		task    coord.Task
+		ex      *fragment.Extracted
+		attempt int
 	}
+	inj := e.Opts.Injector
 	taskCh := make([]chan liveTask, e.Opts.Workers)
 	resCh := make(chan result, e.Opts.Workers)
 	for w := 0; w < e.Opts.Workers; w++ {
 		taskCh[w] = make(chan liveTask, 1)
 		go func(w int) {
+			completed := 0
 			for tw := range taskCh[w] {
+				if inj.WorkerDies(w, completed) {
+					// The worker dies with the attempt it was handed;
+					// the coordinator evicts it and reclaims the task.
+					resCh <- result{worker: w, task: tw.task, ex: tw.ex,
+						err: resilience.ErrWorkerDeath, down: true}
+					return
+				}
+				if inj.FailTask(tw.task.Poly, tw.task.Step, tw.attempt) {
+					resCh <- result{worker: w, task: tw.task, ex: tw.ex, err: resilience.ErrInjected}
+					continue
+				}
+				start := time.Now()
 				key := e.polymers[tw.task.Poly].Key()
-				en, gr, iters, skipped, err := fragment.EvaluateWithCache(e.Eval, e.cache, key, tw.ex.Geom)
+				en, gr, iters, skipped, err := e.evalSafe(key, tw.ex)
+				if f := inj.Straggle(w, tw.task.Poly, tw.task.Step); f > 1 {
+					time.Sleep(time.Duration(float64(time.Since(start)) * (f - 1)))
+				}
+				completed++
 				resCh <- result{worker: w, task: tw.task, e: en, grad: gr, ex: tw.ex, err: err,
 					iters: iters, skipped: skipped}
 			}
@@ -311,13 +373,30 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 			if firstDispatch[t.Step].IsZero() {
 				firstDispatch[t.Step] = time.Now()
 			}
-			taskCh[w] <- liveTask{task: t, ex: ex}
+			taskCh[w] <- liveTask{task: t, ex: ex, attempt: m.Attempt}
 		},
-		AwaitFn: func() (coord.Completion, error) {
-			r := <-resCh
+		AwaitFn: func(ctx context.Context) (coord.Completion, error) {
+			var r result
+			select {
+			case r = <-resCh:
+			case <-ctx.Done():
+				// The wedge escape: a worker that will never report (a
+				// hung evaluator, a deadlocked dependency) no longer
+				// blocks the run forever.
+				return coord.Completion{}, fmt.Errorf("sched: run abandoned awaiting results: %w", ctx.Err())
+			}
 			if r.err != nil {
-				return coord.Completion{}, fmt.Errorf("sched: polymer %s step %d: %w",
-					e.polymers[r.task.Poly].Key(), r.task.Step, r.err)
+				// A failed attempt, not a failed run: the coordinator
+				// retries it against the budget or aborts with this
+				// error attached.
+				return coord.Completion{Worker: r.worker, Task: r.task, WorkerDown: r.down,
+					Err: fmt.Errorf("sched: polymer %s step %d: %w",
+						e.polymers[r.task.Poly].Key(), r.task.Step, r.err)}, nil
+			}
+			if pol.Completed(r.task) {
+				// The losing copy of a speculated task: its twin's
+				// payload is already folded in; drop this one.
+				return coord.Completion{Worker: r.worker, Task: r.task}, nil
 			}
 			t := int(r.task.Step)
 			lastResult[t] = time.Now()
@@ -379,7 +458,15 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 		delete(ms.pos, t)
 	}
 
-	if err := coord.Run(pol, backend, integrate); err != nil {
+	ctx := context.Background()
+	if e.Opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.Opts.Timeout)
+		defer cancel()
+	}
+	runStats, err := coord.RunContext(ctx, pol, backend, integrate)
+	e.runStats = runStats
+	if err != nil {
 		return nil, err
 	}
 

@@ -244,3 +244,29 @@ func (c *Cache) Put(key string, st *State) {
 	defer c.mu.Unlock()
 	c.entries[key] = &entry{state: st}
 }
+
+// Export snapshots the cached states for checkpointing (package
+// resilience). The states themselves are shared, not copied — they are
+// treated as immutable once Put.
+func (c *Cache) Export() map[string]*State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]*State, len(c.entries))
+	for k, en := range c.entries {
+		out[k] = en.state
+	}
+	return out
+}
+
+// Restore installs checkpointed states, marking each as fresh (zero
+// consecutive skips — the checkpoint records real evaluations).
+// Existing entries under the same keys are replaced; others are kept.
+func (c *Cache) Restore(states map[string]*State) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, st := range states {
+		if st != nil {
+			c.entries[k] = &entry{state: st}
+		}
+	}
+}
