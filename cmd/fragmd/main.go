@@ -7,11 +7,20 @@
 //
 //	fragmd -in system.xyz [-mode energy|grad|md|bench] [-basis sto-3g|dzp]
 //	       [-atoms-per-monomer N] [-dimer-cut Å] [-trimer-cut Å]
+//	       [-embed] [-embed-scc N] [-embed-tol e] [-embed-damp d]
 //	       [-steps N] [-dt fs] [-temp K] [-sync] [-workers N]
 //	       [-groups N] [-batch N] [-steal]
 //	       [-warm] [-skip-tol Å] [-max-skip N]
 //	       [-checkpoint file] [-checkpoint-every N] [-resume]
 //	       [-retries N] [-speculate]
+//
+// Embedding knobs (EE-MBE, DESIGN.md §8): -embed evaluates every MBE
+// term in the point-charge field of the other monomers' Mulliken
+// charges; -embed-scc adds self-consistent charge refinement rounds
+// (each monomer re-derived in the others' charges), mixed with
+// -embed-damp; -embed-tol stops the refinement early in energy/grad
+// modes (MD always runs all rounds — its task graph is static). MD
+// output gains a drift column, the NVE conservation diagnostic.
 //
 // Scheduler knobs: -workers sizes the evaluator pool (default
 // GOMAXPROCS); -groups/-batch/-steal engage the hierarchical
@@ -100,6 +109,10 @@ func run(argv []string, out, errOut io.Writer) error {
 	batch := fs.Int("batch", 0, "tasks per coordinator batch transfer (0/1 = single-task dispatch)")
 	steal := fs.Bool("steal", false, "enable work stealing between group coordinators")
 	scs := fs.Bool("scs", false, "report SCS-MP2 energies")
+	embed := fs.Bool("embed", false, "electrostatically embed every MBE term in the other monomers' Mulliken charges (EE-MBE)")
+	embedSCC := fs.Int("embed-scc", 0, "self-consistent charge refinement rounds beyond the vacuum round")
+	embedTol := fs.Float64("embed-tol", 0, "stop SCC early when max |Δq| falls below this (e); energy/grad modes only, 0 = run all rounds")
+	embedDamp := fs.Float64("embed-damp", 0.4, "SCC charge mixing q ← (1−d)·q_new + d·q_old, 0 ≤ d < 1")
 	warm := fs.Bool("warm", false, "warm-start each polymer's SCF from its previous converged density")
 	skipTol := fs.Float64("skip-tol", 0, "skip re-evaluating polymers that moved less than this (Å, 0 = off; approximate)")
 	maxSkip := fs.Int("max-skip", 0, "staleness bound: max consecutive skipped evaluations per polymer (0 = default)")
@@ -158,21 +171,46 @@ func run(argv []string, out, errOut io.Writer) error {
 		len(terms.Monomers), len(terms.Dimers), len(terms.Trimers))
 
 	eval := &potential.RIMP2{Basis: *basisName, SCS: *scs}
+	var embedOpts *fragment.EmbedOptions
+	if *embed {
+		embedOpts = &fragment.EmbedOptions{SCC: *embedSCC, SCCTol: *embedTol, Damping: *embedDamp}
+		if err := embedOpts.Validate(); err != nil {
+			fmt.Fprintf(errOut, "fragmd: %v\n", err)
+			return errUsage
+		}
+	}
 	engOpts := sched.Options{
 		Workers: *workers, Async: !*sync, Dt: *dt * chem.AtomicTimePerFs,
 		Groups: *groups, Batch: *batch, Steal: *steal,
 		WarmStart: *warm, SkipTol: *skipTol * chem.BohrPerAngstrom, MaxSkip: *maxSkip,
 		MaxRetries: *retries, Speculate: *speculate,
 	}
+	if embedOpts != nil {
+		// The engine's task graph is static, so the SCC tolerance only
+		// applies to the serial energy/grad paths; MD runs all rounds.
+		engEmbed := *embedOpts
+		engEmbed.SCCTol = 0
+		engOpts.Embed = &engEmbed
+	}
 	linalg.ResetFLOPs()
 
 	switch *mode {
 	case "energy", "grad":
-		res, err := f.Compute(eval)
+		var res *fragment.Result
+		if embedOpts != nil {
+			res, err = f.ComputeEmbedded(eval, nil, *embedOpts)
+		} else {
+			res, err = f.Compute(eval)
+		}
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "MBE3/RI-MP2 energy: %.10f Ha\n", res.Energy)
+		if embedOpts != nil {
+			fmt.Fprintf(out, "EE-MBE3/RI-MP2 energy: %.10f Ha (SCC rounds %d, far-pair residual %.3e Ha)\n",
+				res.Energy, res.SCCRounds, res.EPairResidual)
+		} else {
+			fmt.Fprintf(out, "MBE3/RI-MP2 energy: %.10f Ha\n", res.Energy)
+		}
 		if *mode == "grad" {
 			fmt.Fprintln(out, "gradient (Ha/Bohr):")
 			for i := 0; i < g.N(); i++ {
@@ -215,6 +253,12 @@ func runMD(out io.Writer, g *molecule.Geometry, f *fragment.Fragmentation, eval 
 
 	var state *md.State
 	done := 0 // completed global steps
+	// The drift baseline is the trajectory's step-0 total energy; a
+	// resumed run reads it from the checkpoint so its drift column
+	// continues the uninterrupted run's, instead of resetting to the
+	// restart boundary and masking accumulated drift.
+	var e0 float64
+	haveE0 := false
 	if resume {
 		ck, err := resilience.Load(ckPath)
 		if err != nil {
@@ -239,6 +283,9 @@ func runMD(out io.Writer, g *molecule.Geometry, f *fragment.Fragmentation, eval 
 			}
 		}
 		done = ck.StepsDone
+		if ck.HasE0 {
+			e0, haveE0 = ck.E0, true
+		}
 		fmt.Fprintf(out, "resumed from %s at step %d/%d (%d warm states)\n", ckPath, done, steps, len(ck.Warm))
 		if ck.TotalSteps > 0 && ck.TotalSteps != steps {
 			fmt.Fprintf(out, "note: checkpointed run was headed for %d steps; continuing to %d\n",
@@ -253,7 +300,7 @@ func runMD(out io.Writer, g *molecule.Geometry, f *fragment.Fragmentation, eval 
 		state.SampleVelocities(temp, rand.New(rand.NewSource(1)))
 	}
 
-	fmt.Fprintf(out, "%6s %18s %14s %10s %9s %8s\n", "step", "Etot (Ha)", "Epot (Ha)", "T (K)", "SCF-iter", "skipped")
+	fmt.Fprintf(out, "%6s %18s %14s %10s %11s %9s %8s\n", "step", "Etot (Ha)", "Epot (Ha)", "T (K)", "drift (Ha)", "SCF-iter", "skipped")
 	for done < steps {
 		// A continuation chunk re-runs the boundary step as its local
 		// step 0 (offset 1); chunk length covers ckEvery new steps.
@@ -274,9 +321,13 @@ func runMD(out io.Writer, g *molecule.Geometry, f *fragment.Fragmentation, eval 
 				return // boundary step, already reported by the previous chunk
 			}
 			global := done - offset + st.Step
+			if !haveE0 {
+				e0 = st.Etot
+				haveE0 = true
+			}
 			tK := 2 * st.Ekin / (3 * float64(g.N())) * chem.KelvinPerHartree
-			fmt.Fprintf(out, "%6d %18.8f %14.8f %10.1f %9d %8d\n",
-				global, st.Etot, st.Epot, tK, st.SCFIters, st.Skipped)
+			fmt.Fprintf(out, "%6d %18.8f %14.8f %10.1f %11.2e %9d %8d\n",
+				global, st.Etot, st.Epot, tK, st.Etot-e0, st.SCFIters, st.Skipped)
 		})
 		if err != nil {
 			return err
@@ -286,6 +337,7 @@ func runMD(out io.Writer, g *molecule.Geometry, f *fragment.Fragmentation, eval 
 			ck := resilience.Snapshot(state, done, engOpts.Dt)
 			ck.TotalSteps = steps
 			ck.Seed = 1
+			ck.E0, ck.HasE0 = e0, haveE0
 			ck.AttachCache(cache)
 			if err := resilience.Save(ckPath, ck); err != nil {
 				return err

@@ -79,6 +79,68 @@ func TestRunEnergyMode(t *testing.T) {
 	}
 }
 
+// -embed switches energy mode to the two-phase EE-MBE driver; the
+// embedded energy must differ from vacuum, and malformed embedding
+// knobs are usage errors. Three monomers are the smallest case where
+// they can differ: on two, MBE2 telescopes to the supersystem and the
+// embedded monomer terms cancel identically.
+func TestRunEmbedMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("embedded RI-MP2 energies are slow; run without -short")
+	}
+	g := molecule.WaterCluster(3)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d\nwater trimer (test)\n", g.N())
+	for _, a := range g.Atoms {
+		fmt.Fprintf(&b, "%s %.8f %.8f %.8f\n", chem.Symbol(a.Z),
+			a.Pos[0]*chem.AngstromPerBohr, a.Pos[1]*chem.AngstromPerBohr, a.Pos[2]*chem.AngstromPerBohr)
+	}
+	xyz := filepath.Join(t.TempDir(), "trimer.xyz")
+	if err := os.WriteFile(xyz, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A tiny trimer cutoff keeps the expansion at MBE2: full MBE3 on
+	// three monomers would telescope to the supersystem on both paths.
+	base := []string{"-in", xyz, "-mode", "energy", "-trimer-cut", "0.1"}
+	var vacOut bytes.Buffer
+	if err := run(base, &vacOut, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var embOut bytes.Buffer
+	if err := run(append(base, "-embed", "-embed-scc", "1"), &embOut, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(embOut.String(), "EE-MBE3/RI-MP2 energy:") {
+		t.Fatalf("embedded output missing EE-MBE report:\n%s", embOut.String())
+	}
+	if !strings.Contains(embOut.String(), "SCC rounds 2") {
+		t.Fatalf("embedded output missing SCC round count:\n%s", embOut.String())
+	}
+	vac := parseEnergy(t, vacOut.String())
+	var emb float64
+	for _, l := range strings.Split(embOut.String(), "\n") {
+		if strings.HasPrefix(l, "EE-MBE3/RI-MP2 energy:") {
+			fmt.Sscanf(strings.Fields(l)[2], "%g", &emb)
+		}
+	}
+	if emb == 0 || math.Abs(emb-vac) < 1e-9 {
+		t.Fatalf("embedding left the energy unchanged: vac %.10f emb %.10f", vac, emb)
+	}
+}
+
+func TestRunEmbedFlagValidation(t *testing.T) {
+	xyz := writeWaterDimerXYZ(t)
+	for _, args := range [][]string{
+		{"-in", xyz, "-embed", "-embed-damp", "1.5"},
+		{"-in", xyz, "-embed", "-embed-scc", "-2"},
+		{"-in", xyz, "-embed", "-embed-tol", "-1"},
+	} {
+		if err := run(args, io.Discard, io.Discard); !errors.Is(err, errUsage) {
+			t.Errorf("args %v: got %v, want usage error", args, err)
+		}
+	}
+}
+
 // Smoke: the cold-vs-warm bench mode must run a short trajectory and
 // print the comparison table with totals.
 func TestRunBenchMode(t *testing.T) {
@@ -127,13 +189,14 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
-// parseStepRows extracts "step → (Etot, Epot)" from md-mode output.
-func parseStepRows(t *testing.T, out string) map[int][2]float64 {
+// parseStepRows extracts "step → (Etot, Epot, drift)" from md-mode
+// output (step, Etot, Epot, T, drift, SCF-iter, skipped).
+func parseStepRows(t *testing.T, out string) map[int][3]float64 {
 	t.Helper()
-	rows := map[int][2]float64{}
+	rows := map[int][3]float64{}
 	for _, l := range strings.Split(out, "\n") {
 		f := strings.Fields(l)
-		if len(f) != 6 {
+		if len(f) != 7 {
 			continue
 		}
 		step, err := strconv.Atoi(f[0])
@@ -142,10 +205,11 @@ func parseStepRows(t *testing.T, out string) map[int][2]float64 {
 		}
 		etot, err1 := strconv.ParseFloat(f[1], 64)
 		epot, err2 := strconv.ParseFloat(f[2], 64)
-		if err1 != nil || err2 != nil {
+		drift, err3 := strconv.ParseFloat(f[4], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
 			continue
 		}
-		rows[step] = [2]float64{etot, epot}
+		rows[step] = [3]float64{etot, epot, drift}
 	}
 	return rows
 }
@@ -211,6 +275,13 @@ func TestRunMDCheckpointResume(t *testing.T) {
 		}
 		if d := math.Abs(got[1] - want[1]); d > 1e-10 {
 			t.Errorf("step %d: |ΔEpot| = %.3e Ha between resumed and uninterrupted runs", step, d)
+		}
+		// The drift column's baseline (step-0 Etot) rides in the
+		// checkpoint, so the resumed diagnostic continues the original
+		// trajectory's instead of resetting at the restart boundary.
+		if d := math.Abs(got[2] - want[2]); d > 1e-10 {
+			t.Errorf("step %d: resumed drift %.3e vs uninterrupted %.3e — baseline not restored",
+				step, got[2], want[2])
 		}
 	}
 	for step := 0; step < 2; step++ {

@@ -6,7 +6,7 @@
 //	mbebench -list
 //
 // Experiments: table1 fig1 table2 table3 fig3 table4 gemm autotune fig5
-// fig6 async warmstart hier resilience fig7 fig8 table5 all
+// fig6 async warmstart embed hier resilience fig7 fig8 table5 all
 //
 // By default workloads are shrunk to development-box scale; -full runs
 // the paper-size configurations (the exascale experiments remain
@@ -59,6 +59,7 @@ var experiments = []struct {
 	{"fig6", bench.Fig6, "NVE energy conservation with async time steps"},
 	{"async", bench.AsyncAblation, "async vs sync time-step latency (§VII-A)"},
 	{"warmstart", bench.WarmStartAblation, "cold vs warm-start SCF iterations and wall per AIMD step"},
+	{"embed", bench.Embed, "EE-MBE accuracy vs supersystem + two-phase scheduling cost (§8)"},
 	{"hier", bench.Hier, "hierarchical group coordinators vs flat scheduler (§VII)"},
 	{"resilience", bench.Resilience, "failure injection: throughput and lost work vs node MTBF"},
 	{"fig7", bench.Fig7, "strong scaling on Perlmutter/Frontier models"},

@@ -1,0 +1,72 @@
+// Water_embedded: the electrostatically embedded many-body expansion
+// (EE-MBE, DESIGN.md §8) on a water cluster through the public API.
+// Phase 1 derives per-monomer Mulliken charges (optionally iterated to
+// self-consistency); phase 2 evaluates every MBE term in the resulting
+// point-charge field. The embedded MBE2 energy lands closer to the
+// supersystem reference than vacuum MBE2, and a short embedded NVE
+// trajectory demonstrates that the analytic embedded forces conserve
+// energy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/fragmd/fragmd"
+)
+
+func main() {
+	sys := fragmd.WaterCluster(4)
+	fmt.Printf("system: %d atoms, %d electrons\n", sys.N(), sys.NumElectrons())
+
+	frag, err := fragmd.FragmentByMolecule(sys, 3, 1, fragmd.FragmentOptions{MaxOrder: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eval := fragmd.NewHFPotential("sto-3g", true)
+
+	super, _, err := eval.Evaluate(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vac, err := frag.Compute(eval)
+	if err != nil {
+		log.Fatal(err)
+	}
+	emb, err := frag.ComputeEmbedded(eval, nil, fragmd.EmbedOptions{SCC: 1, Damping: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("supersystem RI-HF:   %.10f Ha\n", super)
+	fmt.Printf("vacuum MBE2:         %.10f Ha  (error %+.3e)\n", vac.Energy, vac.Energy-super)
+	fmt.Printf("embedded MBE2:       %.10f Ha  (error %+.3e, %d SCC rounds)\n",
+		emb.Energy, emb.Energy-super, emb.SCCRounds)
+	var qO float64
+	for i, q := range emb.Charges {
+		if sys.Atoms[i].Z == 8 {
+			qO += q / 4
+		}
+	}
+	fmt.Printf("mean O Mulliken charge in the embedding field: %+.4f e\n\n", qO)
+
+	fmt.Println("4 steps of embedded NVE AIMD (0.5 fs, 120 K, 1 worker):")
+	fmt.Printf("%6s %18s %12s\n", "step", "Etot (Ha)", "drift (µHa)")
+	eng, err := fragmd.NewEngine(frag, eval, fragmd.EngineOptions{
+		Workers: 1, Async: true, Dt: 0.5 * fragmd.AtomicTimePerFs,
+		Embed: &fragmd.EmbedOptions{SCC: 1, Damping: 0.3},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	state := fragmd.NewMDState(frag.Geom.Clone())
+	state.SampleVelocities(120, rand.New(rand.NewSource(1)))
+	if _, err := eng.Run(state, 4, func(st fragmd.StepStats) {
+		fmt.Printf("%6d %18.8f %12.2f\n", st.Step, st.Etot, st.Drift*1e6)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nnote: the charges are re-derived from the SCF density every step;")
+	fmt.Println("the small systematic drift is the neglected charge-response force")
+	fmt.Println("∂q/∂R — the standard frozen-charge EE-MBE gradient (DESIGN.md §8).")
+}

@@ -49,6 +49,7 @@ import (
 	"github.com/fragmd/fragmd/internal/chem"
 	"github.com/fragmd/fragmd/internal/cluster"
 	"github.com/fragmd/fragmd/internal/fragment"
+	"github.com/fragmd/fragmd/internal/integrals"
 	"github.com/fragmd/fragmd/internal/linalg"
 	"github.com/fragmd/fragmd/internal/md"
 	"github.com/fragmd/fragmd/internal/molecule"
@@ -103,6 +104,29 @@ type (
 	WarmStartCache = warmstart.Cache
 	// WarmStartState is one polymer's reusable converged state.
 	WarmStartState = warmstart.State
+)
+
+// Electrostatic embedding (EE-MBE, DESIGN.md §8): every MBE term is
+// evaluated in the point-charge field of the monomers outside it, so
+// the truncated expansion captures the long-range polarisation that
+// bare-fragment MBE misses at biomolecular scale.
+type (
+	// PointCharges is an external point-charge field (flat 3M site
+	// positions in Bohr, M charges in e).
+	PointCharges = integrals.PointCharges
+	// EmbedOptions configures the two-phase EE-MBE driver: SCC rounds
+	// of self-consistent monomer charges (with damping and an early
+	// convergence stop), then embedded evaluation of every polymer.
+	// Use it with Fragmentation.ComputeEmbedded (serial) or
+	// EngineOptions.Embed (asynchronous AIMD engine, where SCCTol is
+	// ignored because the task graph is static).
+	EmbedOptions = fragment.EmbedOptions
+	// EmbeddedEvaluator evaluates a fragment in a point-charge field,
+	// returning also the analytic forces on the field sites; the
+	// RI-MP2, HF and Lennard-Jones potentials all implement it.
+	EmbeddedEvaluator = fragment.EmbeddedEvaluator
+	// ChargeSource derives per-atom partial charges (EE-MBE phase 1).
+	ChargeSource = fragment.ChargeSource
 )
 
 // NewWarmStartCache creates a warm-start cache for incremental MBE

@@ -164,6 +164,75 @@ func TestGoldenQuickstartTrajectory(t *testing.T) {
 	})
 }
 
+type goldenEmbedded struct {
+	System       string       `json:"system"`
+	NPolymers    int          `json:"n_polymers"`
+	VacuumMBE2   fnum         `json:"vacuum_mbe2_ha"`
+	EmbeddedMBE2 fnum         `json:"embedded_mbe2_ha"`
+	Supersystem  fnum         `json:"supersystem_energy_ha"`
+	SCCRounds    int          `json:"scc_rounds"`
+	Charges      []fnum       `json:"embedding_charges_e"`
+	Trajectory   []goldenStep `json:"trajectory"`
+}
+
+// The water_embedded example's workload: EE-MBE2/RI-HF on a 4-water
+// cluster (vacuum vs embedded vs supersystem, the phase-1 charges) and
+// 3 steps of embedded NVE AIMD, locked bit-for-bit.
+func TestGoldenEmbeddedWaterTrajectory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("embedded RI-HF trajectory is slow; run without -short")
+	}
+	withDeterministicKernels(t, func() {
+		sys := fragmd.WaterCluster(4)
+		frag, err := fragmd.FragmentByMolecule(sys, 3, 1, fragmd.FragmentOptions{MaxOrder: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eval := fragmd.NewHFPotential("sto-3g", true)
+		eo := fragmd.EmbedOptions{SCC: 1, Damping: 0.3}
+		super, _, err := eval.Evaluate(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vac, err := frag.Compute(eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emb, err := frag.ComputeEmbedded(eval, nil, eo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := goldenEmbedded{
+			System:       "water cluster n=4, EE-MBE2/RI-HF/STO-3G",
+			NPolymers:    emb.NPolymers,
+			VacuumMBE2:   num(vac.Energy),
+			EmbeddedMBE2: num(emb.Energy),
+			Supersystem:  num(super),
+			SCCRounds:    emb.SCCRounds,
+		}
+		for _, q := range emb.Charges {
+			g.Charges = append(g.Charges, num(q))
+		}
+
+		eng, err := sched.New(frag, eval, sched.Options{
+			Workers: 1, Async: true, Dt: 0.5 * chem.AtomicTimePerFs, Embed: &eo,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := md.NewState(frag.Geom.Clone())
+		state.SampleVelocities(120, rand.New(rand.NewSource(1)))
+		stats, err := eng.Run(state, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range stats {
+			g.Trajectory = append(g.Trajectory, goldenStep{Etot: num(st.Etot), Epot: num(st.Epot)})
+		}
+		compareGolden(t, "golden_water_embedded.json", g)
+	})
+}
+
 // The urea_crystal example's workload at regression-test size: the
 // r=3 Å sphere is the single central molecule, whose RI-MP2 energy and
 // full analytic gradient are locked bit-for-bit. (A urea *dimer*

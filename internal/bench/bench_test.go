@@ -201,6 +201,27 @@ func fmtSscan(line string, nodes *int, sPerStep, pflops, peak, eff *float64) (in
 	return 5, err
 }
 
+// The EE-MBE experiment must report an accuracy win (it fails itself
+// via Config.Failures when embedding never beats vacuum) and both
+// scheduling modes.
+func TestEmbedReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("embedded supersystem references are slow; run without -short")
+	}
+	var buf bytes.Buffer
+	c := &Config{Quick: true, Out: &buf}
+	Embed(c)
+	if len(c.Failures) > 0 {
+		t.Fatalf("embed experiment failed: %v", c.Failures)
+	}
+	out := buf.String()
+	for _, want := range []string{"EE-MBE accuracy", "embedding shrank the MBE2 error", "embedded+scc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // The resilience sweep is pure simulation and fast at Quick scale: the
 // report must show recoveries at nonzero failure rates, evictions in
 // the permanent-failure row, and no recorded failures.

@@ -31,6 +31,13 @@ type Options struct {
 	Batch  int
 	Steal  bool
 
+	// ChargeRounds simulates the EE-MBE two-phase pipeline (DESIGN.md
+	// §8): each step runs this many barriered rounds of per-monomer
+	// charge tasks (costed as one monomer-sized SCF each) before its
+	// polymer evaluations. 0 = vacuum MBE. Mirrors
+	// sched.Options.Embed, so the two backends stay dispatch-identical.
+	ChargeRounds int
+
 	// Jitter adds uniform ±Jitter relative noise to every task's
 	// modelled execution time (0 ≤ Jitter < 1; 0 = the deterministic
 	// cost model). Non-zero jitter creates the load imbalance that
@@ -156,6 +163,7 @@ func Simulate(w *Workload, m Machine, opt Options) (*Result, error) {
 		Steps: opt.Steps, Workers: nWorkers, Sync: !opt.Async,
 		Groups: opt.Groups, Batch: opt.Batch, Steal: opt.Steal,
 		MaxRetries: opt.MaxRetries, Speculate: opt.Speculate,
+		ChargeRounds: opt.ChargeRounds,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
@@ -168,6 +176,22 @@ func Simulate(w *Workload, m Machine, opt Options) (*Result, error) {
 	for pi, p := range w.Polymers {
 		nbf, nocc, naux := w.Size(p)
 		secs[pi], flops[pi] = m.Seconds(nbf, nocc, naux)
+	}
+	// Per-monomer charge-task cost: one monomer-sized SCF (the phase-1
+	// Mulliken derivation of EE-MBE).
+	var chargeSecs, chargeFlops []float64
+	if opt.ChargeRounds > 0 {
+		chargeSecs = make([]float64, len(w.Monomers))
+		chargeFlops = make([]float64, len(w.Monomers))
+		for mi, ms := range w.Monomers {
+			chargeSecs[mi], chargeFlops[mi] = m.Seconds(ms.NBf, ms.NOcc, ms.NAux)
+		}
+	}
+	taskCost := func(t coord.Task) (float64, float64) {
+		if int(t.Phase) < opt.ChargeRounds {
+			return chargeSecs[t.Poly], chargeFlops[t.Poly]
+		}
+		return secs[t.Poly], flops[t.Poly]
 	}
 	seed := opt.Seed
 	if seed == 0 {
@@ -244,7 +268,7 @@ func Simulate(w *Workload, m Machine, opt Options) (*Result, error) {
 				begin = start + glat
 			}
 			begin = math.Max(begin, availableAt[wk]) // node still restarting
-			dur := secs[t.Poly]
+			dur, _ := taskCost(t)
 			if opt.Jitter > 0 {
 				dur *= 1 + opt.Jitter*(2*rng.Float64()-1)
 			}
@@ -306,7 +330,8 @@ func Simulate(w *Workload, m Machine, opt Options) (*Result, error) {
 			if now > lastDone[ev.task.Step] {
 				lastDone[ev.task.Step] = now
 			}
-			totalFlops += flops[ev.task.Poly]
+			_, fl := taskCost(ev.task)
+			totalFlops += fl
 			return coord.Completion{Worker: ev.worker, Task: ev.task}, nil
 		},
 	}

@@ -33,10 +33,18 @@ import (
 	"math"
 )
 
-// Task is one polymer evaluation at one time step.
+// Task is one unit of scheduled work at one time step. With
+// Options.ChargeRounds == 0 (vacuum MBE) every task is a polymer
+// evaluation and Phase is always 0. Under electrostatic embedding the
+// step pipelines through phases: Phase r < ChargeRounds is the r-th
+// per-monomer charge task (Poly is then a *monomer* index), and Phase
+// == ChargeRounds is the polymer-evaluation phase — the phase-1→phase-2
+// dependency is a real barrier per step (every polymer of step t waits
+// for all of step t's charge rounds).
 type Task struct {
-	Poly int32
-	Step int32
+	Poly  int32
+	Step  int32
+	Phase int32
 }
 
 // Graph is the static task graph of a fragment workload: one node per
@@ -160,6 +168,13 @@ type Options struct {
 	// second time (at most one extra copy per task); the first copy to
 	// complete wins and the duplicate completion is dropped.
 	Speculate bool
+
+	// ChargeRounds engages the two-phase EE-MBE pipeline: every step
+	// first runs ChargeRounds rounds of per-monomer charge tasks
+	// (round 0 = vacuum charges, later rounds = SCC refinements, each
+	// round a barrier over all monomers), and only then releases the
+	// step's polymer evaluations. 0 = vacuum MBE, no charge tasks.
+	ChargeRounds int
 }
 
 // Hierarchical reports whether the options engage the group-coordinator
@@ -203,8 +218,13 @@ type Policy struct {
 	monoPending []int32 // outstanding polymer results per monomer
 	globalMin   int32   // sync-mode barrier front
 
+	chargeRounds int       // charge phases per step (0 = vacuum)
+	chargeDone   [][]int32 // [step][round] completed charge tasks
+	polyDone     []int32   // completed polymer tasks per step (embedding)
+	tasksPerStep int
+
 	remaining int      // tasks not yet completed
-	done      []uint64 // completion bitset over task index (poly·Steps + step)
+	done      []uint64 // completion bitset over task index
 	batches   int
 	steals    int
 }
@@ -226,6 +246,9 @@ func NewPolicy(g *Graph, opts Options) (*Policy, error) {
 	if opts.MaxRetries < 0 {
 		return nil, fmt.Errorf("coord: retry budget %d must not be negative", opts.MaxRetries)
 	}
+	if opts.ChargeRounds < 0 {
+		return nil, fmt.Errorf("coord: charge round count %d must not be negative", opts.ChargeRounds)
+	}
 	p := &Policy{g: g, opts: opts}
 	p.groups = opts.Groups
 	if p.groups < 1 {
@@ -246,12 +269,36 @@ func NewPolicy(g *Graph, opts Options) (*Policy, error) {
 	for mi := range p.monoPending {
 		p.monoPending[mi] = int32(len(g.Touching[mi]))
 	}
-	p.remaining = g.NPoly() * opts.Steps
+	p.chargeRounds = opts.ChargeRounds
+	p.tasksPerStep = p.chargeRounds*g.NMono + g.NPoly()
+	p.chargeDone = make([][]int32, opts.Steps)
+	for t := range p.chargeDone {
+		p.chargeDone[t] = make([]int32, p.chargeRounds)
+	}
+	if p.chargeRounds > 0 {
+		p.polyDone = make([]int32, opts.Steps)
+	}
+	p.remaining = p.tasksPerStep * opts.Steps
 	p.done = make([]uint64, (p.remaining+63)/64)
+	for mi := int32(0); mi < int32(g.NMono) && p.chargeRounds > 0; mi++ {
+		heap.Push(&p.ready, Task{Poly: mi, Step: 0, Phase: 0})
+	}
 	for pi := int32(0); pi < int32(g.NPoly()); pi++ {
 		p.tryEnqueue(pi)
 	}
 	return p, nil
+}
+
+// ChargeRounds returns the number of charge phases per step.
+func (p *Policy) ChargeRounds() int { return p.chargeRounds }
+
+// isCharge reports whether t is a per-monomer charge task.
+func (p *Policy) isCharge(t Task) bool { return int(t.Phase) < p.chargeRounds }
+
+// chargeReady reports whether step t's polymer phase is unblocked:
+// every charge round of the step has completed on every monomer.
+func (p *Policy) chargeReady(t int32) bool {
+	return p.chargeRounds == 0 || p.chargeDone[t][p.chargeRounds-1] == int32(p.g.NMono)
 }
 
 // Groups returns the effective group-coordinator count.
@@ -269,8 +316,15 @@ func (p *Policy) Steals() int { return p.steals }
 // Done reports whether every task of every step has completed.
 func (p *Policy) Done() bool { return p.remaining == 0 }
 
-// taskIndex maps a task to its bit in the completion set.
-func (p *Policy) taskIndex(t Task) int { return int(t.Poly)*p.opts.Steps + int(t.Step) }
+// taskIndex maps a task to its bit in the completion set (step-major:
+// the step's charge rounds first, then its polymers).
+func (p *Policy) taskIndex(t Task) int {
+	base := int(t.Step) * p.tasksPerStep
+	if p.isCharge(t) {
+		return base + int(t.Phase)*p.g.NMono + int(t.Poly)
+	}
+	return base + p.chargeRounds*p.g.NMono + int(t.Poly)
+}
 
 // Completed reports whether task t has already completed. Backends use
 // it to drop the payload of late duplicate completions (a speculated
@@ -293,12 +347,20 @@ func (p *Policy) Requeue(t Task) {
 // GroupOf maps a worker to its group coordinator (contiguous blocks).
 func (p *Policy) GroupOf(worker int) int { return worker * p.groups / p.opts.Workers }
 
-// less is the total dispatch order: step, then distance to the
-// reference monomer, then decreasing polymer size, then the polymer's
-// monomer tuple — fully deterministic and backend-independent.
+// less is the total dispatch order: step, then phase (charge rounds
+// before the polymer phase), then — for charge tasks — the monomer
+// index, or — for polymers — distance to the reference monomer, then
+// decreasing polymer size, then the polymer's monomer tuple. Fully
+// deterministic and backend-independent.
 func (p *Policy) less(a, b Task) bool {
 	if a.Step != b.Step {
 		return a.Step < b.Step
+	}
+	if a.Phase != b.Phase {
+		return a.Phase < b.Phase
+	}
+	if p.isCharge(a) {
+		return a.Poly < b.Poly
 	}
 	if da, db := p.g.Dist[a.Poly], p.g.Dist[b.Poly]; da != db {
 		return da < db
@@ -330,7 +392,11 @@ func (p *Policy) tryEnqueue(pi int32) {
 			// every monomer reached step t.
 			return
 		}
-		heap.Push(&p.ready, Task{Poly: pi, Step: t})
+		if !p.chargeReady(t) {
+			// Phase barrier: step t's embedding charges are not final.
+			return
+		}
+		heap.Push(&p.ready, Task{Poly: pi, Step: t, Phase: int32(p.chargeRounds)})
 		p.nextStep[pi]++
 	}
 }
@@ -382,12 +448,15 @@ func (p *Policy) Next(worker int) (t Task, m DispatchMeta, ok bool) {
 	return q[0], m, true
 }
 
-// Complete records that task t finished. For every monomer of t's touch
-// set whose last outstanding polymer this was, advanced fires (the live
-// backend integrates the monomer there) and the monomer's time step
-// advances, releasing newly ready polymers. Completing a task twice is
-// a no-op (the driver drops duplicate completions before calling this,
-// but the bitset makes the invariant local).
+// Complete records that task t finished. A charge task counts toward
+// its (step, round) barrier: the last completion of a round enqueues
+// the next round, and the last completion of the final round releases
+// the step's polymer phase. For a polymer task, every monomer of t's
+// touch set whose last outstanding polymer this was fires advanced
+// (the live backend integrates the monomer there) and advances,
+// releasing newly ready work. Completing a task twice is a no-op (the
+// driver drops duplicate completions before calling this, but the
+// bitset makes the invariant local).
 func (p *Policy) Complete(t Task, advanced func(mono, step int32)) {
 	i := p.taskIndex(t)
 	if p.done[i/64]&(1<<(i%64)) != 0 {
@@ -395,6 +464,43 @@ func (p *Policy) Complete(t Task, advanced func(mono, step int32)) {
 	}
 	p.done[i/64] |= 1 << (i % 64)
 	p.remaining--
+	if p.isCharge(t) {
+		p.chargeDone[t.Step][t.Phase]++
+		if p.chargeDone[t.Step][t.Phase] != int32(p.g.NMono) {
+			return
+		}
+		if next := t.Phase + 1; int(next) < p.chargeRounds {
+			// Every monomer completed round Phase of this step — and a
+			// completed round 0 implies every monomer has reached the
+			// step, so all field-site positions exist. Launch the next
+			// round wholesale (it is a barrier, not per-monomer).
+			for mi := int32(0); mi < int32(p.g.NMono); mi++ {
+				heap.Push(&p.ready, Task{Poly: mi, Step: t.Step, Phase: next})
+			}
+			return
+		}
+		// Final round done: the step's polymer phase unblocks.
+		for pi := int32(0); pi < int32(p.g.NPoly()); pi++ {
+			p.tryEnqueue(pi)
+		}
+		return
+	}
+	if p.chargeRounds > 0 {
+		// Electrostatic embedding globally couples the forces: every
+		// polymer's field sites exert forces on *all* monomers, so no
+		// monomer's step-t force is complete until every polymer of
+		// step t is. Per-monomer release — valid for vacuum MBE, where
+		// only the touch set feels a polymer — would integrate early
+		// with truncated forces and break NVE conservation. Embedded
+		// steps therefore release wholesale.
+		p.polyDone[t.Step]++
+		if p.polyDone[t.Step] == int32(p.g.NPoly()) {
+			for mi := int32(0); mi < int32(p.g.NMono); mi++ {
+				p.advanceMono(mi, t.Step, advanced)
+			}
+		}
+		return
+	}
 	for _, mi := range p.g.Touch[t.Poly] {
 		p.monoPending[mi]--
 		if p.monoPending[mi] == 0 && p.monoStep[mi] == t.Step {
@@ -409,6 +515,13 @@ func (p *Policy) advanceMono(mi, t int32, advanced func(mono, step int32)) {
 	}
 	p.monoStep[mi] = t + 1
 	p.monoPending[mi] = int32(len(p.g.Touching[mi]))
+	if p.chargeRounds > 0 && int(t+1) < p.opts.Steps {
+		// The monomer's next-step positions exist now, which is all a
+		// round-0 (vacuum) charge task needs — later rounds and the
+		// step's polymers still wait on their barriers, preserving what
+		// asynchrony the embedding allows.
+		heap.Push(&p.ready, Task{Poly: mi, Step: t + 1, Phase: 0})
+	}
 	if p.opts.Sync {
 		newMin := p.monoStep[mi]
 		for _, s := range p.monoStep {

@@ -16,8 +16,13 @@ import (
 )
 
 // taskID renders a dispatch as a backend-independent string: the
-// polymer's monomer tuple plus the time step.
-func taskID(members [][]int32, t coord.Task) string {
+// polymer's monomer tuple plus the time step, or — for EE-MBE charge
+// tasks (phase below the round count) — the monomer index, step and
+// round.
+func taskID(members [][]int32, rounds int, t coord.Task) string {
+	if int(t.Phase) < rounds {
+		return fmt.Sprintf("q%d@%d#%d", t.Poly, t.Step, t.Phase)
+	}
 	return fmt.Sprintf("%v@%d", members[t.Poly], t.Step)
 }
 
@@ -63,23 +68,36 @@ func TestLiveAndSimulatedBackendsDispatchIdentically(t *testing.T) {
 		async         bool
 		groups, batch int
 		steal         bool
+		scc           int // EE-MBE SCC rounds; −1 = vacuum (no embedding)
 	}{
-		{"flat-async", true, 0, 0, false},
-		{"flat-sync", false, 0, 0, false},
-		{"batched-async", true, 2, 4, true},
+		{"flat-async", true, 0, 0, false, -1},
+		{"flat-sync", false, 0, 0, false, -1},
+		{"batched-async", true, 2, 4, true, -1},
+		// The two-phase embedded graph: charge rounds barrier each step
+		// in both backends.
+		{"embedded-async", true, 0, 0, false, 1},
+		{"embedded-sync", false, 0, 0, false, 0},
+		{"embedded-batched", true, 2, 4, true, 0},
 	}
 	for _, cfg := range configs {
+		var embed *fragment.EmbedOptions
+		rounds := 0
+		if cfg.scc >= 0 {
+			embed = &fragment.EmbedOptions{SCC: cfg.scc}
+			rounds = embed.Rounds()
+		}
 		var live []string
 		var eng *sched.Engine
-		eng, err = sched.New(f, &potential.LennardJones{}, sched.Options{
+		eng, err = sched.New(f, &potential.LennardJones{Charges: map[int]float64{1: 0.2, 8: -0.4}}, sched.Options{
 			Workers: 1, Async: cfg.async, Dt: 0.5 * chem.AtomicTimePerFs,
 			// Near-symmetric lattices leave the farthest-from-centroid
 			// choice to float summation order; pin both backends to the
 			// simulator's pick so the priorities are identical.
 			RefMonomer: w.RefMono(),
 			Groups:     cfg.groups, Batch: cfg.batch, Steal: cfg.steal,
+			Embed: embed,
 			TraceDispatch: func(tk coord.Task, _ coord.DispatchMeta) {
-				live = append(live, taskID(eng.Graph().Members, tk))
+				live = append(live, taskID(eng.Graph().Members, rounds, tk))
 			},
 		})
 		if err != nil {
@@ -95,8 +113,9 @@ func TestLiveAndSimulatedBackendsDispatchIdentically(t *testing.T) {
 		_, err = cluster.Simulate(w, testMachine, cluster.Options{
 			Nodes: 1, Steps: steps, Async: cfg.async, Seed: 17,
 			Groups: cfg.groups, Batch: cfg.batch, Steal: cfg.steal,
+			ChargeRounds: rounds,
 			TraceDispatch: func(tk coord.Task, _ coord.DispatchMeta) {
-				sim = append(sim, taskID(w.Graph().Members, tk))
+				sim = append(sim, taskID(w.Graph().Members, rounds, tk))
 			},
 		})
 		if err != nil {

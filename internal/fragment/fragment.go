@@ -55,6 +55,11 @@ type Options struct {
 	// DimerCutoff and TrimerCutoff are centroid-distance thresholds in
 	// Bohr. A dimer (I,J) is included when dist(I,J) ≤ DimerCutoff; a
 	// trimer when all three pairwise distances are ≤ TrimerCutoff.
+	//
+	// The zero value means *no cutoff* (+Inf) — this is the one place
+	// that convention is defined; every consumer goes through fill().
+	// Negative cutoffs are invalid and rejected by New with an error
+	// (they would silently produce an expansion with no dimers at all).
 	DimerCutoff  float64
 	TrimerCutoff float64
 	// MaxOrder is 2 for MBE2, 3 for MBE3 (default 3).
@@ -75,6 +80,9 @@ func (o *Options) fill() {
 	if o.CapDistance == 0 {
 		o.CapDistance = 1.09 * chem.BohrPerAngstrom
 	}
+	// 0 means no cutoff — see the Options.DimerCutoff doc, the single
+	// home of that convention. Negative values never reach here (New
+	// rejects them).
 	if o.DimerCutoff == 0 {
 		o.DimerCutoff = math.Inf(1)
 	}
@@ -98,6 +106,10 @@ type Fragmentation struct {
 // atom must belong to exactly one monomer. Bonds crossing monomer
 // boundaries are detected from covalent radii and recorded for H-capping.
 func New(g *molecule.Geometry, monomers [][]int, opts Options) (*Fragmentation, error) {
+	if opts.DimerCutoff < 0 || opts.TrimerCutoff < 0 {
+		return nil, fmt.Errorf("fragment: negative cutoff (dimer %g, trimer %g Bohr); use 0 for no cutoff",
+			opts.DimerCutoff, opts.TrimerCutoff)
+	}
 	opts.fill()
 	f := &Fragmentation{Geom: g, Opts: opts}
 	f.atomMonomer = make([]int, g.N())

@@ -41,6 +41,14 @@ func FuzzMBECoefficients(f *testing.F) {
 			TrimerCutoff: trimerCut,
 			MaxOrder:     2 + int(orderRaw)%2,
 		})
+		if dimerCut < 0 || trimerCut < 0 {
+			// Negative cutoffs are invalid input, not a degenerate
+			// expansion: New must reject them loudly.
+			if err == nil {
+				t.Fatalf("negative cutoffs (%g/%g) accepted", dimerCut, trimerCut)
+			}
+			return
+		}
 		if err != nil {
 			t.Fatalf("fibril fragmentation rejected: %v", err)
 		}

@@ -198,6 +198,15 @@ type Result struct {
 	// whose cached energy/gradient were reused without re-evaluation.
 	SCFIters int
 	Skipped  int
+
+	// EE-MBE extras (ComputeEmbedded only; zero/nil for vacuum MBE).
+	// Charges are the phase-1 per-parent-atom embedding charges,
+	// SCCRounds the number of charge rounds actually run, and
+	// EPairResidual the far-pair double-counting correction included in
+	// Energy (see embed.go).
+	Charges       []float64
+	SCCRounds     int
+	EPairResidual float64
 }
 
 // Compute evaluates every required polymer with eval and assembles the
@@ -248,8 +257,13 @@ func (f *Fragmentation) ComputeWithCache(eval Evaluator, cache *warmstart.Cache)
 		extracts[key] = ex
 	}
 
+	// Deterministic assembly order (the enumeration order, not map
+	// range): float accumulation is order-sensitive in the last bits,
+	// and the golden-trajectory regressions compare bit-for-bit.
 	allGrads := true
-	for key, c := range coeff {
+	for _, p := range all {
+		key := p.Key()
+		c := coeff[key]
 		if c == 0 {
 			continue
 		}

@@ -42,13 +42,23 @@ func parallelFor(n int, fn func(lo, hi int)) {
 // reduceGrads runs fn on per-worker gradient buffers and sums them into
 // grad. n is the loop bound passed through to parallelFor.
 func reduceGrads(n int, grad []float64, fn func(lo, hi int, buf []float64)) {
+	reduceGrads2(n, grad, nil, func(lo, hi int, buf, _ []float64) { fn(lo, hi, buf) })
+}
+
+// reduceGrads2 is reduceGrads over two accumulators (the bra-atom and
+// field-site gradients of the point-charge derivatives); gb may be nil.
+func reduceGrads2(n int, ga, gb []float64, fn func(lo, hi int, bufA, bufB []float64)) {
 	var mu sync.Mutex
 	parallelFor(n, func(lo, hi int) {
-		buf := make([]float64, len(grad))
-		fn(lo, hi, buf)
+		bufA := make([]float64, len(ga))
+		bufB := make([]float64, len(gb))
+		fn(lo, hi, bufA, bufB)
 		mu.Lock()
-		for i, v := range buf {
-			grad[i] += v
+		for i, v := range bufA {
+			ga[i] += v
+		}
+		for i, v := range bufB {
+			gb[i] += v
 		}
 		mu.Unlock()
 	})
@@ -196,19 +206,23 @@ func oneElectronMat(bs *basis.Set, kind stKind) *linalg.Mat {
 	return m
 }
 
-// nuclearPair evaluates the nuclear-attraction block Σ_C −Z_C·(μ|1/r_C|ν)
-// for one shell pair. When grad is non-nil it instead contracts the
+// coulombPair evaluates the charge-attraction block Σ_c −q_c·(μ|1/r_c|ν)
+// for one shell pair over an arbitrary set of attraction sites (flat 3M
+// positions pos, charges q — the geometry's nuclei or an external
+// point-charge field). When braGrad is non-nil it instead contracts the
 // derivative integrals with the weights w on the fly:
 //
-//	grad[3·atom(A)+d] += factor·Σ_μν w_μν ∂V_μν/∂A_d   (bra share)
-//	grad[3·C+d]       −= factor·Σ_μν w_μν ∂(V_C)_μν/∂A_d (operator share)
+//	braGrad[3·atom(A)+d] += factor·Σ_μν w_μν ∂V_μν/∂A_d    (bra share)
+//	siteGrad[3·c+d]      −= factor·Σ_μν w_μν ∂(V_c)_μν/∂A_d (operator share)
 //
-// Two ordered visits of each pair make −(∂A+∂B) the complete nuclear
-// (Hellmann–Feynman + Pulay) force via translational invariance.
-func nuclearPair(sa, sb *basis.Shell, g *molecule.Geometry, val *linalg.Mat, w *linalg.Mat, factor float64, grad []float64) {
+// Two ordered visits of each pair make −(∂A+∂B) the complete
+// (Hellmann–Feynman + Pulay) force via translational invariance. For
+// the nuclear-attraction case braGrad and siteGrad are the same slice;
+// for an external field the site forces land in the field's own array.
+func coulombPair(sa, sb *basis.Shell, sitePos, siteQ []float64, val *linalg.Mat, w *linalg.Mat, factor float64, braGrad, siteGrad []float64) {
 	compA := basis.CartComponents(sa.L)
 	compB := basis.CartComponents(sb.L)
-	deriv := grad != nil
+	deriv := braGrad != nil
 	imax := sa.L
 	if deriv {
 		imax++
@@ -231,10 +245,9 @@ func nuclearPair(sa, sb *basis.Shell, g *molecule.Geometry, val *linalg.Mat, w *
 			for d := 0; d < 3; d++ {
 				pc[d] = (a*sa.Center[d] + b*sb.Center[d]) / pexp
 			}
-			for ci := range g.Atoms {
-				at := &g.Atoms[ci]
-				r := newRCube(tmax, pexp, pc[0]-at.Pos[0], pc[1]-at.Pos[1], pc[2]-at.Pos[2])
-				charge := -float64(at.Z)
+			for ci := range siteQ {
+				r := newRCube(tmax, pexp, pc[0]-sitePos[3*ci], pc[1]-sitePos[3*ci+1], pc[2]-sitePos[3*ci+2])
+				charge := -siteQ[ci]
 				contract := func(ia, jb [3]int) float64 {
 					var sum float64
 					ex := e[0][ia[0]][jb[0]]
@@ -280,8 +293,8 @@ func nuclearPair(sa, sb *basis.Shell, g *molecule.Geometry, val *linalg.Mat, w *
 								if A[d] > 0 {
 									dv -= float64(A[d]) * contract(down, B)
 								}
-								grad[3*sa.Atom+d] += wv * dv
-								grad[3*ci+d] -= wv * dv
+								braGrad[3*sa.Atom+d] += wv * dv
+								siteGrad[3*ci+d] -= wv * dv
 							}
 						}
 					}
@@ -291,15 +304,29 @@ func nuclearPair(sa, sb *basis.Shell, g *molecule.Geometry, val *linalg.Mat, w *
 	}
 }
 
+// nuclearSites flattens a geometry's nuclei into attraction sites.
+func nuclearSites(g *molecule.Geometry) (pos, q []float64) {
+	pos = make([]float64, 3*g.N())
+	q = make([]float64, g.N())
+	for i, at := range g.Atoms {
+		for d := 0; d < 3; d++ {
+			pos[3*i+d] = at.Pos[d]
+		}
+		q[i] = float64(at.Z)
+	}
+	return pos, q
+}
+
 // Nuclear returns the nuclear-attraction matrix V = Σ_C −Z_C (μ|1/r_C|ν).
 func Nuclear(bs *basis.Set, g *molecule.Geometry) *linalg.Mat {
+	pos, q := nuclearSites(g)
 	m := linalg.NewMat(bs.N, bs.N)
 	pairs := upperPairs(len(bs.Shells))
 	parallelFor(len(pairs), func(lo, hi int) {
 		for idx := lo; idx < hi; idx++ {
 			sa, sb := &bs.Shells[pairs[idx][0]], &bs.Shells[pairs[idx][1]]
 			blk := linalg.NewMat(sa.NCart(), sb.NCart())
-			nuclearPair(sa, sb, g, blk, nil, 0, nil)
+			coulombPair(sa, sb, pos, q, blk, nil, 0, nil, nil)
 			for i := 0; i < blk.Rows; i++ {
 				for j := 0; j < blk.Cols; j++ {
 					v := blk.At(i, j)
@@ -358,11 +385,12 @@ func stDeriv(bs *basis.Set, w *linalg.Mat, factor float64, grad []float64, kind 
 // NuclearDeriv accumulates factor·Σ_μν w_μν ∂V_μν/∂R into grad,
 // including the forces on the nuclei acting as attraction centers.
 func NuclearDeriv(bs *basis.Set, g *molecule.Geometry, w *linalg.Mat, factor float64, grad []float64) {
+	pos, q := nuclearSites(g)
 	pairs := allPairs(len(bs.Shells))
 	reduceGrads(len(pairs), grad, func(lo, hi int, buf []float64) {
 		for idx := lo; idx < hi; idx++ {
 			sa, sb := &bs.Shells[pairs[idx][0]], &bs.Shells[pairs[idx][1]]
-			nuclearPair(sa, sb, g, nil, w, factor, buf)
+			coulombPair(sa, sb, pos, q, nil, w, factor, buf, buf)
 		}
 	})
 }

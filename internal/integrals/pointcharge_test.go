@@ -1,0 +1,174 @@
+package integrals
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/fragmd/fragmd/internal/basis"
+	"github.com/fragmd/fragmd/internal/linalg"
+	"github.com/fragmd/fragmd/internal/molecule"
+)
+
+// testField places three charges of mixed sign around a water molecule
+// (Bohr), far enough from the nuclei that the classical terms stay
+// smooth for finite differences.
+func testField() *PointCharges {
+	return &PointCharges{
+		Pos: []float64{
+			4.0, 0.5, -0.3,
+			-3.5, 2.0, 1.0,
+			0.7, -4.2, 2.5,
+		},
+		Q: []float64{0.4, -0.3, 0.25},
+	}
+}
+
+// Point charges of magnitude Z placed on the nuclei must reproduce the
+// nuclear-attraction operator exactly — same Hermite code, external
+// centers.
+func TestPointChargeMatrixMatchesNuclear(t *testing.T) {
+	g := molecule.Water()
+	bs, err := basis.Build("sto-3g", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := &PointCharges{}
+	for _, at := range g.Atoms {
+		pc.Pos = append(pc.Pos, at.Pos[0], at.Pos[1], at.Pos[2])
+		pc.Q = append(pc.Q, float64(at.Z))
+	}
+	vn := Nuclear(bs, g)
+	vp := PointChargeMatrix(bs, pc)
+	for i := 0; i < bs.N; i++ {
+		for j := 0; j < bs.N; j++ {
+			if d := math.Abs(vn.At(i, j) - vp.At(i, j)); d > 1e-13 {
+				t.Fatalf("V[%d,%d]: nuclear %.15f vs point-charge %.15f", i, j, vn.At(i, j), vp.At(i, j))
+			}
+		}
+	}
+}
+
+// The bra-atom and site shares of PointChargeDeriv must together equal
+// NuclearDeriv when the sites coincide with the nuclei (there the
+// operator-center forces land back on the atoms).
+func TestPointChargeDerivSplitsNuclearDeriv(t *testing.T) {
+	g := molecule.Water()
+	bs, err := basis.Build("sto-3g", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := &PointCharges{}
+	for _, at := range g.Atoms {
+		pc.Pos = append(pc.Pos, at.Pos[0], at.Pos[1], at.Pos[2])
+		pc.Q = append(pc.Q, float64(at.Z))
+	}
+	rng := rand.New(rand.NewSource(7))
+	w := linalg.NewMat(bs.N, bs.N)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	want := make([]float64, 3*g.N())
+	NuclearDeriv(bs, g, w, 1, want)
+	grad := make([]float64, 3*g.N())
+	site := make([]float64, 3*pc.N())
+	PointChargeDeriv(bs, pc, w, 1, grad, site)
+	for i := range want {
+		if d := math.Abs(want[i] - (grad[i] + site[i])); d > 1e-11 {
+			t.Fatalf("component %d: nuclear %.12e vs split %.12e", i, want[i], grad[i]+site[i])
+		}
+	}
+}
+
+// Central-difference validation of both gradient shares of the
+// electron–field attraction: E(R) = Σ_μν w_μν V^pc_μν for a fixed
+// weight matrix, differentiated against atom and site displacements.
+func TestPointChargeDerivFD(t *testing.T) {
+	g := molecule.Water()
+	pc := testField()
+	rng := rand.New(rand.NewSource(3))
+	bs0, err := basis.Build("sto-3g", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := linalg.NewMat(bs0.N, bs0.N)
+	for i := range w.Data {
+		w.Data[i] = rng.NormFloat64()
+	}
+	energy := func(gg *molecule.Geometry, field *PointCharges) float64 {
+		bb, err := basis.Build("sto-3g", gg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return linalg.Dot(w, PointChargeMatrix(bb, field))
+	}
+	grad := make([]float64, 3*g.N())
+	site := make([]float64, 3*pc.N())
+	PointChargeDeriv(bs0, pc, w, 1, grad, site)
+
+	const h = 1e-5
+	for idx := 0; idx < 3*g.N(); idx++ {
+		gp, gm := g.Clone(), g.Clone()
+		gp.Atoms[idx/3].Pos[idx%3] += h
+		gm.Atoms[idx/3].Pos[idx%3] -= h
+		fd := (energy(gp, pc) - energy(gm, pc)) / (2 * h)
+		if d := math.Abs(fd - grad[idx]); d > 1e-7 {
+			t.Errorf("atom grad[%d]: analytic %.10f vs FD %.10f", idx, grad[idx], fd)
+		}
+	}
+	for idx := 0; idx < 3*pc.N(); idx++ {
+		pp, pm := pc.Clone(), pc.Clone()
+		pp.Pos[idx] += h
+		pm.Pos[idx] -= h
+		fd := (energy(g, pp) - energy(g, pm)) / (2 * h)
+		if d := math.Abs(fd - site[idx]); d > 1e-7 {
+			t.Errorf("site grad[%d]: analytic %.10f vs FD %.10f", idx, site[idx], fd)
+		}
+	}
+}
+
+// The classical nuclear–field term and its two-sided gradient.
+func TestNuclearFieldEnergyFD(t *testing.T) {
+	g := molecule.Water()
+	pc := testField()
+	grad := make([]float64, 3*g.N())
+	site := make([]float64, 3*pc.N())
+	NuclearFieldDeriv(g, pc, 1, grad, site)
+	const h = 1e-6
+	for idx := 0; idx < 3*g.N(); idx++ {
+		gp, gm := g.Clone(), g.Clone()
+		gp.Atoms[idx/3].Pos[idx%3] += h
+		gm.Atoms[idx/3].Pos[idx%3] -= h
+		fd := (NuclearFieldEnergy(gp, pc) - NuclearFieldEnergy(gm, pc)) / (2 * h)
+		if math.Abs(fd-grad[idx]) > 1e-8 {
+			t.Errorf("atom grad[%d]: analytic %.10f vs FD %.10f", idx, grad[idx], fd)
+		}
+	}
+	for idx := 0; idx < 3*pc.N(); idx++ {
+		pp, pm := pc.Clone(), pc.Clone()
+		pp.Pos[idx] += h
+		pm.Pos[idx] -= h
+		fd := (NuclearFieldEnergy(g, pp) - NuclearFieldEnergy(g, pm)) / (2 * h)
+		if math.Abs(fd-site[idx]) > 1e-8 {
+			t.Errorf("site grad[%d]: analytic %.10f vs FD %.10f", idx, site[idx], fd)
+		}
+	}
+}
+
+// A vanishing field leaves the nil-safe helpers inert.
+func TestPointChargesNilSafety(t *testing.T) {
+	var pc *PointCharges
+	if pc.N() != 0 || pc.Clone() != nil {
+		t.Fatal("nil PointCharges must be empty and clone to nil")
+	}
+	g := molecule.Water()
+	bs, err := basis.Build("sto-3g", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := PointChargeMatrix(bs, nil)
+	if m.MaxAbs() != 0 {
+		t.Fatal("nil field must produce a zero matrix")
+	}
+	PointChargeDeriv(bs, nil, m, 1, nil, nil) // must not panic
+}

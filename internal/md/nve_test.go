@@ -1,0 +1,129 @@
+package md_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/fragmd/fragmd/internal/racecheck"
+
+	"github.com/fragmd/fragmd/internal/chem"
+	"github.com/fragmd/fragmd/internal/integrals"
+	"github.com/fragmd/fragmd/internal/md"
+	"github.com/fragmd/fragmd/internal/molecule"
+	"github.com/fragmd/fragmd/internal/potential"
+)
+
+// nveMaxDrift integrates an NVE trajectory with the reference
+// velocity-Verlet integrator and returns the max |E(t) − E(0)|.
+func nveMaxDrift(t *testing.T, prov md.ForceProvider, g *molecule.Geometry, dtFs float64, steps int, tempK float64, seed int64) float64 {
+	t.Helper()
+	state := md.NewState(g.Clone())
+	state.SampleVelocities(tempK, rand.New(rand.NewSource(seed)))
+	obs, get := md.NewConservationTracker()
+	vv := &md.VelocityVerlet{Dt: dtFs * chem.AtomicTimePerFs, Provider: prov}
+	if err := vv.Run(state, steps, obs); err != nil {
+		t.Fatal(err)
+	}
+	st := get()
+	if st.N != steps {
+		t.Fatalf("tracker saw %d steps, want %d", st.N, steps)
+	}
+	return st.MaxDrift
+}
+
+// Full-length LJ NVE: the drift envelope must be bounded and shrink
+// ~4× when the time step halves over the same simulated time — the
+// O(dt²) signature of a symplectic integrator fed exact gradients. A
+// force/energy inconsistency would leave a dt-independent linear
+// drift instead.
+func TestNVEConservationLJ(t *testing.T) {
+	steps := 300
+	if testing.Short() {
+		steps = 120
+	}
+	g := molecule.WaterCluster(8)
+	lj := &potential.LennardJones{Charges: map[int]float64{1: 0.2, 8: -0.4}}
+	prov := md.ForceFunc(lj.Evaluate)
+	d1 := nveMaxDrift(t, prov, g, 0.5, steps, 100, 7)
+	d2 := nveMaxDrift(t, prov, g, 0.25, 2*steps, 100, 7)
+	if d1 > 5e-6 {
+		t.Fatalf("LJ NVE drift %.3e Ha over %d steps exceeds 5e-6", d1, steps)
+	}
+	if d2 <= 0 || d1/d2 < 3 {
+		t.Fatalf("drift not O(dt²): %.3e at dt vs %.3e at dt/2 (ratio %.2f)", d1, d2, d1/d2)
+	}
+	t.Logf("LJ NVE: %d steps, drift %.3e (dt=0.5fs) vs %.3e (dt=0.25fs), ratio %.2f", steps, d1, d2, d1/d2)
+}
+
+// HF smoke: a handful of ab initio NVE steps on one water molecule.
+// The stiff O–H modes put the velocity-Verlet oscillation near 1e-5 Ha
+// at this dt, so the sharp assertion is the O(dt²) signature: halving
+// the step over the same simulated time must shrink the envelope ~4×,
+// which only happens when the analytic gradient is the exact
+// derivative of the energy (a broken term leaves dt-independent
+// drift).
+func TestNVEConservationHFSmoke(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("pure-numerical suite; adds no race coverage and is slow under -race")
+	}
+	steps := 8
+	if testing.Short() {
+		steps = 5
+	}
+	hf := &potential.HF{UseRI: true}
+	prov := md.ForceFunc(hf.Evaluate)
+	d1 := nveMaxDrift(t, prov, molecule.Water(), 0.25, steps, 150, 3)
+	d2 := nveMaxDrift(t, prov, molecule.Water(), 0.125, 2*steps, 150, 3)
+	if d1 > 5e-5 {
+		t.Fatalf("HF NVE drift %.3e Ha over %d steps exceeds 5e-5", d1, steps)
+	}
+	if d2 <= 0 || d1/d2 < 2.5 {
+		t.Fatalf("drift not O(dt²): %.3e at dt vs %.3e at dt/2 (ratio %.2f)", d1, d2, d1/d2)
+	}
+	t.Logf("HF NVE smoke: %d steps, drift %.3e vs %.3e at dt/2, ratio %.2f", steps, d1, d2, d1/d2)
+}
+
+// The same holds for an *embedded* whole-system force: water in a
+// static external charge field (field fixed in space, charges frozen)
+// is a conservative system, and the embedded HF gradient must conserve
+// its energy.
+func TestNVEConservationHFEmbeddedSmoke(t *testing.T) {
+	if racecheck.Enabled {
+		t.Skip("pure-numerical suite; adds no race coverage and is slow under -race")
+	}
+	steps := 6
+	if testing.Short() {
+		steps = 4
+	}
+	hf := &potential.HF{UseRI: true}
+	field := &integrals.PointCharges{
+		Pos: []float64{5.0, 0.8, -0.6, -4.4, 2.2, 1.3},
+		Q:   []float64{0.3, -0.25},
+	}
+	prov := md.ForceFunc(func(g *molecule.Geometry) (float64, []float64, error) {
+		e, grad, _, _, err := hf.EvaluateEmbedded(g, field, nil)
+		return e, grad, err
+	})
+	d1 := nveMaxDrift(t, prov, molecule.Water(), 0.25, steps, 150, 3)
+	d2 := nveMaxDrift(t, prov, molecule.Water(), 0.125, 2*steps, 150, 3)
+	if d1 > 5e-5 {
+		t.Fatalf("embedded HF NVE drift %.3e Ha over %d steps exceeds 5e-5", d1, steps)
+	}
+	if d2 <= 0 || d1/d2 < 2.5 {
+		t.Fatalf("drift not O(dt²): %.3e at dt vs %.3e at dt/2 (ratio %.2f)", d1, d2, d1/d2)
+	}
+	t.Logf("embedded HF NVE smoke: %d steps, drift %.3e vs %.3e at dt/2, ratio %.2f", steps, d1, d2, d1/d2)
+}
+
+// Sanity on the tracker itself.
+func TestConservationTrackerStats(t *testing.T) {
+	obs, get := md.NewConservationTracker()
+	for _, e := range []float64{1.0, 1.5, 0.5} {
+		obs(md.StepInfo{Etot: e})
+	}
+	st := get()
+	if st.E0 != 1.0 || math.Abs(st.MaxDrift-0.5) > 1e-15 || st.N != 3 {
+		t.Fatalf("tracker stats wrong: %+v", st)
+	}
+}

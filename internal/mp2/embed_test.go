@@ -1,0 +1,96 @@
+package mp2
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fragmd/fragmd/internal/basis"
+	"github.com/fragmd/fragmd/internal/integrals"
+	"github.com/fragmd/fragmd/internal/molecule"
+	"github.com/fragmd/fragmd/internal/scf"
+)
+
+// The embedded RI-MP2 gradient: the external field enters the
+// correlated derivative through the relaxed one-particle density, so
+// analytic forces on atoms *and* field sites must match central
+// differences of the total embedded MP2 energy at fixed charges.
+func TestEmbeddedRIMP2GradientFD(t *testing.T) {
+	g := molecule.Water()
+	pc := &integrals.PointCharges{
+		Pos: []float64{3.8, 0.6, -0.4, -3.2, 1.8, 1.1, 0.5, -4.0, 2.2},
+		Q:   []float64{0.35, -0.3, 0.2},
+	}
+	auxOpts := basis.AuxOptions{PerL: []int{5, 4, 3}}
+	run := func(gg *molecule.Geometry, field *integrals.PointCharges) *Result {
+		bs, err := basis.Build("sto-3g", gg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := scf.RHF(gg, bs, scf.Options{
+			UseRI: true, AuxOpts: auxOpts, EmbedCharges: field,
+			ConvE: 1e-12, ConvErr: 1e-10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RIMP2(ref, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r := run(g, pc)
+	grad, siteGrad, err := r.Gradients()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(siteGrad) != 3*pc.N() {
+		t.Fatalf("site gradient length %d, want %d", len(siteGrad), 3*pc.N())
+	}
+	const h = 1e-4
+	for _, idx := range []int{0, 2, 4, 7} {
+		gp, gm := g.Clone(), g.Clone()
+		gp.Atoms[idx/3].Pos[idx%3] += h
+		gm.Atoms[idx/3].Pos[idx%3] -= h
+		fd := (run(gp, pc).ETotal - run(gm, pc).ETotal) / (2 * h)
+		if math.Abs(fd-grad[idx]) > 1e-6 {
+			t.Errorf("atom grad[%d]: analytic %.9f vs FD %.9f", idx, grad[idx], fd)
+		}
+	}
+	for _, idx := range []int{0, 4, 8} {
+		pp, pm := pc.Clone(), pc.Clone()
+		pp.Pos[idx] += h
+		pm.Pos[idx] -= h
+		fd := (run(g, pp).ETotal - run(g, pm).ETotal) / (2 * h)
+		if math.Abs(fd-siteGrad[idx]) > 1e-6 {
+			t.Errorf("site grad[%d]: analytic %.9f vs FD %.9f", idx, siteGrad[idx], fd)
+		}
+	}
+}
+
+// The field shifts the correlation energy, not just the reference:
+// orbital relaxation in the field changes the MP2 pair energies.
+func TestEmbeddedMP2CorrelationShift(t *testing.T) {
+	g := molecule.Water()
+	bs, _ := basis.Build("sto-3g", g)
+	vac, err := scf.RHF(g, bs, scf.Options{UseRI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := RIMP2(vac, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := &integrals.PointCharges{Pos: []float64{0, 0, 5.0}, Q: []float64{0.8}}
+	emb, err := scf.RHF(g, bs, scf.Options{UseRI: true, EmbedCharges: pc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := RIMP2(emb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(re.Ecorr-rv.Ecorr) < 1e-8 {
+		t.Errorf("correlation energy unchanged by the field: %.10f", re.Ecorr)
+	}
+}

@@ -39,6 +39,19 @@ func (r *Result) Gradient() ([]float64, error) {
 	return parts["total"], nil
 }
 
+// Gradients returns the analytic nuclear gradient plus, when the
+// reference SCF was embedded in a point-charge field, the gradient on
+// the field sites (nil in vacuum). The embedding enters the MP2
+// derivative exactly like any one-electron operator: contracted with
+// the relaxed density D_HF + P̄ + Pz, holding the charge values fixed.
+func (r *Result) Gradients() (grad, siteGrad []float64, err error) {
+	parts, err := r.gradientParts(false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return parts["total"], r.embedGrad, nil
+}
+
 // gradientParts computes the gradient; with split=true the two-electron
 // contraction classes are evaluated in separate passes and returned under
 // individual keys (diagnostics), otherwise a single accumulated pass is
@@ -207,6 +220,11 @@ func (r *Result) gradientParts(split bool) (map[string][]float64, error) {
 	copy(grad, ref.Geom.NuclearRepulsionGradient())
 	integrals.KineticDeriv(ref.Bs, dh, 1, grad)
 	integrals.NuclearDeriv(ref.Bs, ref.Geom, dh, 1, grad)
+	if pc := ref.Opts().EmbedCharges; pc.N() > 0 {
+		r.embedGrad = make([]float64, 3*pc.N())
+		integrals.PointChargeDeriv(ref.Bs, pc, dh, 1, grad, r.embedGrad)
+		integrals.NuclearFieldDeriv(ref.Geom, pc, 1, grad, r.embedGrad)
+	}
 	integrals.OverlapDeriv(ref.Bs, wao, -1, grad)
 	if split {
 		p := newPart("mp2-1e")

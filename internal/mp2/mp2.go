@@ -56,8 +56,9 @@ type Result struct {
 	SCF  *scf.Result
 	opts Options
 
-	bov *linalg.Tensor3 // B^P_ia arranged (i, P, a)
-	bmo *linalg.Tensor3 // B^P_pq full MO (P, p, q)
+	bov       *linalg.Tensor3 // B^P_ia arranged (i, P, a)
+	bmo       *linalg.Tensor3 // B^P_pq full MO (P, p, q)
+	embedGrad []float64       // field-site gradient of the last Gradients call
 }
 
 // RIMP2 computes the RI-MP2 correlation energy from a converged RI-HF

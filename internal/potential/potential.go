@@ -10,6 +10,7 @@ import (
 
 	"github.com/fragmd/fragmd/internal/basis"
 	"github.com/fragmd/fragmd/internal/chem"
+	"github.com/fragmd/fragmd/internal/integrals"
 	"github.com/fragmd/fragmd/internal/molecule"
 	"github.com/fragmd/fragmd/internal/mp2"
 	"github.com/fragmd/fragmd/internal/scf"
@@ -17,7 +18,9 @@ import (
 )
 
 // stateFromSCF snapshots a converged SCF result as a warm-start state
-// (the energy/gradient fields are filled in by the caller).
+// (the energy/gradient fields are filled in by the caller). The
+// embedding field the SCF ran in (if any) is snapshotted too, so the
+// cache can detect stale charges.
 func stateFromSCF(g *molecule.Geometry, ref *scf.Result, basisName string) *warmstart.State {
 	st := &warmstart.State{
 		D:     ref.D,
@@ -32,6 +35,9 @@ func stateFromSCF(g *molecule.Geometry, ref *scf.Result, basisName string) *warm
 		st.NAux = ref.Aux.N
 	}
 	st.Snapshot(g)
+	if pc := ref.Opts().EmbedCharges; pc.N() > 0 {
+		st.SnapshotField(pc.Pos, pc.Q)
+	}
 	return st
 }
 
@@ -73,39 +79,59 @@ func (p *RIMP2) Evaluate(g *molecule.Geometry) (float64, []float64, error) {
 // density (when compatible) becomes the SCF initial guess, and the new
 // converged state is returned for the next step.
 func (p *RIMP2) EvaluateFrom(g *molecule.Geometry, prev *warmstart.State) (float64, []float64, *warmstart.State, error) {
+	e, grad, _, st, err := p.EvaluateEmbedded(g, nil, prev)
+	return e, grad, st, err
+}
+
+// EvaluateEmbedded implements fragment.EmbeddedEvaluator: the RI-HF
+// reference is converged in the point-charge field (which then flows
+// through the MP2 amplitudes and the relaxed-density gradient), and
+// the analytic forces on the field sites ride along. A nil field
+// reproduces the vacuum evaluation exactly.
+func (p *RIMP2) EvaluateEmbedded(g *molecule.Geometry, field *integrals.PointCharges, prev *warmstart.State) (float64, []float64, []float64, *warmstart.State, error) {
 	bs, err := basis.Build(p.basisName(), g)
 	if err != nil {
-		return 0, nil, nil, err
+		return 0, nil, nil, nil, err
 	}
 	opts := p.SCFOpts
 	opts.UseRI = true
 	opts.AuxOpts = p.AuxOpts
+	opts.EmbedCharges = field
 	applyGuess(&opts, prev, g, p.basisName(), bs.N)
 	ref, err := scf.RHF(g, bs, opts)
 	if err != nil {
-		return 0, nil, nil, err
+		return 0, nil, nil, nil, err
 	}
 	mopts := p.MP2Opts
 	mopts.SCS = p.SCS
 	r, err := mp2.RIMP2(ref, mopts)
 	if err != nil {
-		return 0, nil, nil, err
+		return 0, nil, nil, nil, err
 	}
 	st := stateFromSCF(g, ref, p.basisName())
 	st.Energy = r.ETotal
 	if p.EnergyOnly {
-		return r.ETotal, nil, st, nil
+		return r.ETotal, nil, nil, st, nil
 	}
-	grad, err := r.Gradient()
+	grad, fieldGrad, err := r.Gradients()
 	if err != nil {
-		return 0, nil, nil, err
+		return 0, nil, nil, nil, err
 	}
 	// Note: the analytic gradient is for the plain MP2 functional; when
 	// SCS energies are requested the gradient still corresponds to plain
 	// MP2 (as in the paper, which reports SCS energetics but plain-MP2
 	// dynamics).
 	st.Grad = grad
-	return r.ETotal, grad, st, nil
+	st.FieldGrad = fieldGrad
+	return r.ETotal, grad, fieldGrad, st, nil
+}
+
+// PartialCharges implements fragment.ChargeSource: Mulliken charges of
+// the RI-HF reference (the MP2 correction does not relax the density
+// used for embedding charges — phase 1 needs the reference SCF only).
+func (p *RIMP2) PartialCharges(g *molecule.Geometry, field *integrals.PointCharges) ([]float64, int, error) {
+	hf := &HF{Basis: p.basisName(), UseRI: true, AuxOpts: p.AuxOpts, SCFOpts: p.SCFOpts}
+	return hf.PartialCharges(g, field)
 }
 
 func (p *RIMP2) basisName() string {
@@ -133,27 +159,51 @@ func (p *HF) Evaluate(g *molecule.Geometry) (float64, []float64, error) {
 
 // EvaluateFrom implements fragment.StatefulEvaluator (see RIMP2).
 func (p *HF) EvaluateFrom(g *molecule.Geometry, prev *warmstart.State) (float64, []float64, *warmstart.State, error) {
+	e, grad, _, st, err := p.EvaluateEmbedded(g, nil, prev)
+	return e, grad, st, err
+}
+
+// run converges the HF SCF for g in the given field.
+func (p *HF) run(g *molecule.Geometry, field *integrals.PointCharges, prev *warmstart.State) (*scf.Result, string, error) {
 	name := p.Basis
 	if name == "" {
 		name = "sto-3g"
 	}
 	bs, err := basis.Build(name, g)
 	if err != nil {
-		return 0, nil, nil, err
+		return nil, name, err
 	}
 	opts := p.SCFOpts
 	opts.UseRI = p.UseRI
 	opts.AuxOpts = p.AuxOpts
+	opts.EmbedCharges = field
 	applyGuess(&opts, prev, g, name, bs.N)
 	ref, err := scf.RHF(g, bs, opts)
+	return ref, name, err
+}
+
+// EvaluateEmbedded implements fragment.EmbeddedEvaluator (see RIMP2).
+func (p *HF) EvaluateEmbedded(g *molecule.Geometry, field *integrals.PointCharges, prev *warmstart.State) (float64, []float64, []float64, *warmstart.State, error) {
+	ref, name, err := p.run(g, field, prev)
 	if err != nil {
-		return 0, nil, nil, err
+		return 0, nil, nil, nil, err
 	}
-	grad := ref.Gradient()
+	grad, fieldGrad := ref.Gradients()
 	st := stateFromSCF(g, ref, name)
 	st.Energy = ref.Energy
 	st.Grad = grad
-	return ref.Energy, grad, st, nil
+	st.FieldGrad = fieldGrad
+	return ref.Energy, grad, fieldGrad, st, nil
+}
+
+// PartialCharges implements fragment.ChargeSource: Mulliken charges of
+// the converged (optionally embedded) SCF density.
+func (p *HF) PartialCharges(g *molecule.Geometry, field *integrals.PointCharges) ([]float64, int, error) {
+	ref, _, err := p.run(g, field, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ref.MullikenCharges(), ref.Iters, nil
 }
 
 // LennardJones is a pairwise 12-6 surrogate potential with element-
@@ -172,6 +222,15 @@ type LennardJones struct {
 	// Delay optionally burns CPU per call to emulate expensive fragments
 	// in scheduler tests (seconds).
 	Delay float64
+	// Charges assigns a fixed partial charge per atomic number (e),
+	// giving the surrogate an embedding model: PartialCharges returns
+	// them and EvaluateEmbedded adds the classical fragment–field
+	// Coulomb energy. Because the charges are geometry-independent, the
+	// embedded LJ surrogate is *exactly* conservative — the testbed for
+	// EE-MBE force folding and NVE drift at scales the ab initio
+	// evaluators cannot reach. A nil map means zero charges everywhere
+	// (embedding becomes a no-op).
+	Charges map[int]float64
 }
 
 // Evaluate implements fragment.Evaluator.
@@ -219,6 +278,53 @@ func (p *LennardJones) EvaluateFrom(g *molecule.Geometry, _ *warmstart.State) (f
 		return 0, nil, nil, err
 	}
 	return e, grad, warmstart.NewState(g, e, grad), nil
+}
+
+// PartialCharges implements fragment.ChargeSource with the fixed
+// per-element charges (zeros without a Charges map); the field is
+// ignored, so SCC iteration converges after the vacuum round.
+func (p *LennardJones) PartialCharges(g *molecule.Geometry, _ *integrals.PointCharges) ([]float64, int, error) {
+	q := make([]float64, g.N())
+	for i, a := range g.Atoms {
+		q[i] = p.Charges[a.Z]
+	}
+	return q, 0, nil
+}
+
+// EvaluateEmbedded implements fragment.EmbeddedEvaluator: the LJ
+// energy plus the classical Coulomb interaction of the fragment's
+// fixed partial charges with the field, with analytic forces on both
+// atoms and field sites.
+func (p *LennardJones) EvaluateEmbedded(g *molecule.Geometry, field *integrals.PointCharges, _ *warmstart.State) (float64, []float64, []float64, *warmstart.State, error) {
+	e, grad, err := p.Evaluate(g)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	var fieldGrad []float64
+	if n := field.N(); n > 0 {
+		fieldGrad = make([]float64, 3*n)
+		for i, at := range g.Atoms {
+			qa := p.Charges[at.Z]
+			if qa == 0 {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				ec, dA := integrals.CoulombPairTerm(at.Pos,
+					[3]float64{field.Pos[3*c], field.Pos[3*c+1], field.Pos[3*c+2]}, qa, field.Q[c])
+				e += ec
+				for k := 0; k < 3; k++ {
+					grad[3*i+k] += dA[k]
+					fieldGrad[3*c+k] -= dA[k]
+				}
+			}
+		}
+	}
+	st := warmstart.NewState(g, e, grad)
+	if field.N() > 0 {
+		st.SnapshotField(field.Pos, field.Q)
+		st.FieldGrad = fieldGrad
+	}
+	return e, grad, fieldGrad, st, nil
 }
 
 // burn spins for roughly d seconds of CPU work.

@@ -1,0 +1,11 @@
+//go:build race
+
+// Package racecheck reports whether the race detector is compiled in,
+// so expensive pure-numerical test suites (finite-difference physics
+// validation, supersystem references) can skip the race pass they add
+// nothing to — their concurrency is exercised by the fast scheduler
+// suites that do run under -race.
+package racecheck
+
+// Enabled is true when the binary is built with -race.
+const Enabled = true

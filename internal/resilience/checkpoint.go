@@ -102,6 +102,12 @@ type Checkpoint struct {
 	// the resumed dynamics itself is deterministic and reads the
 	// velocities, not the seed.
 	Seed int64 `json:"seed,omitempty"`
+	// E0 records the trajectory's step-0 total energy, the baseline of
+	// the NVE drift diagnostic, so a resumed run reports drift against
+	// the *original* start rather than its own first step. HasE0 marks
+	// it valid (pre-E0 checkpoints load with both zero).
+	E0    float64 `json:"e0,omitempty"`
+	HasE0 bool    `json:"has_e0,omitempty"`
 
 	Zs     []int     `json:"atomic_numbers"`
 	Pos    []float64 `json:"pos"` // 3N, Bohr

@@ -11,11 +11,26 @@ import (
 // Z^P_μν and ζ_PQ contractions of paper Eq. 10; on the conventional path
 // the full (μν|λσ)^ξ derivatives are recomputed on the fly.
 func (r *Result) Gradient() []float64 {
-	grad := r.Geom.NuclearRepulsionGradient()
+	grad, _ := r.Gradients()
+	return grad
+}
+
+// Gradients returns the analytic nuclear gradient plus, when the SCF
+// was embedded in a point-charge field (Options.EmbedCharges), the
+// gradient on the field sites (flat [3M], Hartree/Bohr; nil in
+// vacuum). The site forces hold the charge values fixed — the EE-MBE
+// frozen-charge convention.
+func (r *Result) Gradients() (grad, siteGrad []float64) {
+	grad = r.Geom.NuclearRepulsionGradient()
 
 	// One-electron terms: Σ D_μν h^ξ_μν.
 	integrals.KineticDeriv(r.Bs, r.D, 1, grad)
 	integrals.NuclearDeriv(r.Bs, r.Geom, r.D, 1, grad)
+	if pc := r.opts.EmbedCharges; pc.N() > 0 {
+		siteGrad = make([]float64, 3*pc.N())
+		integrals.PointChargeDeriv(r.Bs, pc, r.D, 1, grad, siteGrad)
+		integrals.NuclearFieldDeriv(r.Geom, pc, 1, grad, siteGrad)
+	}
 
 	// Pulay term: −Σ W_μν S^ξ_μν, W = 2 Σ_i ε_i C_i C_iᵀ.
 	w := r.EnergyWeightedDensity()
@@ -30,7 +45,23 @@ func (r *Result) Gradient() []float64 {
 	} else {
 		integrals.FourCenterDerivHF(r.Bs, r.D, r.Schwarz, r.opts.SchwarzThresh, 1, grad)
 	}
-	return grad
+	return grad, siteGrad
+}
+
+// MullikenCharges returns the per-atom Mulliken partial charges of the
+// converged density, q_A = Z_A − Σ_{μ∈A} (D·S)_μμ — the charge model
+// of the EE-MBE embedding field (phase 1).
+func (r *Result) MullikenCharges() []float64 {
+	ds := r.opts.Tuner.MatMul(linalg.NoTrans, linalg.NoTrans, r.D, r.S)
+	q := make([]float64, r.Geom.N())
+	for i, at := range r.Geom.Atoms {
+		q[i] = float64(at.Z)
+	}
+	fa := r.Bs.FuncAtom()
+	for mu := 0; mu < r.Bs.N; mu++ {
+		q[fa[mu]] -= ds.At(mu, mu)
+	}
+	return q
 }
 
 // EnergyWeightedDensity returns W_μν = 2 Σ_i^occ ε_i C_μi C_νi.

@@ -65,6 +65,15 @@ type Options struct {
 	// is exact for any D of the 2·C·Cᵀ form. Ignored unless
 	// GuessDensity is set.
 	GuessC *linalg.Mat
+	// EmbedCharges places the SCF in an external point-charge field
+	// (electrostatic embedding, EE-MBE phase 2): the electron–field
+	// attraction joins the core Hamiltonian and the classical
+	// nuclear–field interaction the total energy (Result.EField). The
+	// charge–charge energy among the field sites is never included.
+	// Gradients gain analytic contributions on both the atoms and the
+	// field sites (Result.Gradients), treating the charge *values* as
+	// geometry-independent constants.
+	EmbedCharges *integrals.PointCharges
 }
 
 func (o *Options) fill() {
@@ -92,9 +101,13 @@ func (o *Options) fill() {
 // the MP2 stage (the paper avoids recomputing three-center integrals by
 // keeping B resident; we do the same).
 type Result struct {
-	Energy    float64 // total HF energy (Ha)
-	Eelec     float64
-	Enuc      float64
+	Energy float64 // total HF energy (Ha), including EField
+	Eelec  float64
+	Enuc   float64
+	// EField is the classical nuclear–field interaction energy when
+	// Options.EmbedCharges is set (0 in vacuum); the electron–field
+	// attraction is part of Eelec through the core Hamiltonian.
+	EField    float64
 	C         *linalg.Mat // MO coefficients, columns are orbitals
 	Eps       []float64   // orbital energies, ascending
 	D         *linalg.Mat // AO density, occupation-2 convention
@@ -164,6 +177,10 @@ func RHF(g *molecule.Geometry, bs *basis.Set, opts Options) (*Result, error) {
 	res := &Result{Geom: g, Bs: bs, NOcc: nocc, Enuc: g.NuclearRepulsion(), opts: opts}
 	res.S = integrals.Overlap(bs)
 	res.H = integrals.Hcore(bs, g)
+	if pc := opts.EmbedCharges; pc.N() > 0 {
+		res.H.AxpyMat(1, integrals.PointChargeMatrix(bs, pc))
+		res.EField = integrals.NuclearFieldEnergy(g, pc)
+	}
 	x := linalg.InvSqrtSym(res.S, 1e-10)
 
 	var fockBuild func(d *linalg.Mat, co *linalg.Mat) *linalg.Mat
@@ -251,7 +268,7 @@ func RHF(g *molecule.Geometry, bs *basis.Set, opts Options) (*Result, error) {
 
 		if math.Abs(eElec-ePrev) < opts.ConvE && maxErr < opts.ConvErr {
 			res.Eelec = eElec
-			res.Energy = eElec + res.Enuc
+			res.Energy = eElec + res.Enuc + res.EField
 			res.C = c
 			res.Eps = eps
 			res.D = d
@@ -267,7 +284,7 @@ func RHF(g *molecule.Geometry, bs *basis.Set, opts Options) (*Result, error) {
 	res.Eps = eps
 	res.D = d
 	res.Eelec = ePrev
-	res.Energy = ePrev + res.Enuc
+	res.Energy = ePrev + res.Enuc + res.EField
 	return res, errors.New("scf: not converged")
 }
 

@@ -88,6 +88,18 @@ type Options struct {
 	// bound apply, and WarmStart/SkipTol/MaxSkip here are ignored.
 	Cache *warmstart.Cache
 
+	// Embed engages electrostatically embedded MBE (EE-MBE): every
+	// step first derives monomer charges (1 + Embed.SCC rounds of
+	// per-monomer charge tasks — a real barrier in the task graph),
+	// then evaluates every polymer in the resulting field, with field
+	// forces folded back onto the parent atoms. Requires the evaluator
+	// to implement fragment.EmbeddedEvaluator and fragment.ChargeSource.
+	// Embed.SCCTol is ignored here (the engine's task graph is static,
+	// so all SCC rounds always run); use the serial
+	// fragment.ComputeEmbedded for tolerance-based early stopping.
+	// nil = vacuum MBE.
+	Embed *fragment.EmbedOptions
+
 	// MaxRetries is the per-task failure budget: an evaluation that
 	// fails (evaluator error, evaluator panic, injected failure) is
 	// re-queued on a surviving worker at most MaxRetries times before
@@ -121,11 +133,15 @@ type StepStats struct {
 	Etot     float64
 	Wall     time.Duration // first dispatch → last result of this step
 	NPolymer int
-	// SCFIters totals SCF iterations across this step's polymer
-	// evaluations (0 for stateless evaluators); Skipped counts polymer
-	// evaluations avoided via skip reuse.
+	// SCFIters totals SCF iterations across this step's polymer and
+	// charge-task evaluations (0 for stateless evaluators); Skipped
+	// counts polymer evaluations avoided via skip reuse.
 	SCFIters int
 	Skipped  int
+	// Drift is the total-energy drift E_tot(t) − E_tot(0) of this
+	// trajectory segment (Ha) — the NVE conservation diagnostic
+	// surfaced per step so drivers can print and gate it.
+	Drift float64
 }
 
 // Engine drives asynchronous MBE AIMD.
@@ -166,6 +182,13 @@ type result struct {
 	down    bool // the worker died with this attempt
 	iters   int  // SCF iterations of this evaluation
 	skipped bool // cached energy/gradient reused, no evaluation
+
+	// EE-MBE payloads: charges of a phase-1 task (per fragment atom,
+	// caps included), or the field-site gradient + field of a phase-2
+	// polymer evaluation.
+	charges   []float64
+	fieldGrad []float64
+	field     *fragment.Field
 }
 
 // New creates an engine and precomputes the polymer lists, dependency
@@ -189,6 +212,17 @@ func New(f *fragment.Fragmentation, eval fragment.Evaluator, opts Options) (*Eng
 	}
 	if opts.Dt <= 0 {
 		return nil, errors.New("sched: time step must be positive")
+	}
+	if opts.Embed != nil {
+		if err := opts.Embed.Validate(); err != nil {
+			return nil, fmt.Errorf("sched: %w", err)
+		}
+		if _, ok := eval.(fragment.EmbeddedEvaluator); !ok {
+			return nil, fmt.Errorf("sched: evaluator %T cannot evaluate embedded fragments", eval)
+		}
+		if _, ok := eval.(fragment.ChargeSource); !ok {
+			return nil, fmt.Errorf("sched: evaluator %T cannot derive monomer charges", eval)
+		}
 	}
 	e := &Engine{Frag: f, Eval: eval, Opts: opts}
 	if opts.Cache != nil {
@@ -246,6 +280,30 @@ func (e *Engine) evalSafe(key string, ex *fragment.Extracted) (en float64, gr []
 		}
 	}()
 	return fragment.EvaluateWithCache(e.Eval, e.cache, key, ex.Geom)
+}
+
+// evalSafeEmbedded is evalSafe for EE-MBE phase-2 tasks.
+func (e *Engine) evalSafeEmbedded(key string, ex *fragment.Extracted, fl *fragment.Field) (en float64, gr, fg []float64, iters int, skipped bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: evaluator panic: %v", r)
+		}
+	}()
+	return fragment.EvaluateEmbeddedWithCache(e.Eval.(fragment.EmbeddedEvaluator), e.cache, key, ex.Geom, fl)
+}
+
+// chargeSafe runs one EE-MBE phase-1 charge task.
+func (e *Engine) chargeSafe(ex *fragment.Extracted, fl *fragment.Field) (q []float64, iters int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: charge-source panic: %v", r)
+		}
+	}()
+	q, iters, err = e.Eval.(fragment.ChargeSource).PartialCharges(ex.Geom, fl.PC())
+	if err == nil && len(q) != ex.Geom.N() {
+		err = fmt.Errorf("sched: charge source returned %d values for %d atoms", len(q), ex.Geom.N())
+	}
+	return q, iters, err
 }
 
 // Run integrates n time steps (n force evaluations per monomer) starting
@@ -309,10 +367,62 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 		return g
 	}
 
+	// EE-MBE: rounds of per-monomer charge tasks precede each step's
+	// polymer phase; chargeQ[step][round] holds the folded (and damped)
+	// parent-atom charges, complete once the round's barrier passes.
+	chargeRounds := 0
+	if e.Opts.Embed != nil {
+		chargeRounds = e.Opts.Embed.Rounds()
+	}
+	chargeQ := map[int][][]float64{}
+	chargeAt := func(step, round int) []float64 {
+		rs, ok := chargeQ[step]
+		if !ok {
+			rs = make([][]float64, chargeRounds)
+			for r := range rs {
+				rs[r] = make([]float64, f.Geom.N())
+			}
+			chargeQ[step] = rs
+		}
+		return rs[round]
+	}
+	monoAdvanced := make([]int, n)  // monomers past step t (chargeQ pruning)
+	residualDone := make([]bool, n) // far-pair correction folded per step
+	var sPair []float64             // pair-inclusion weights (static)
+	if chargeRounds > 0 {
+		sPair = f.PairInclusion()
+	}
+	// Embedding fields read *every* monomer's step-t positions — unlike
+	// vacuum extraction, which only reads a polymer's touch set — so
+	// they cannot go through the pruned per-monomer histories: a
+	// monomer that advanced early drops its step-t positions while
+	// unrelated polymers of step t are still dispatching. Instead, the
+	// whole step's positions are snapshotted once at the charge
+	// barrier: the first consumer runs strictly after round 0 of the
+	// step completes (every monomer at step t, nothing advanced past
+	// it), which is exactly when all histories are guaranteed live.
+	stepPos := map[int][]float64{}
+	fieldPosAt := func(step int) func(atom int) [3]float64 {
+		snap, ok := stepPos[step]
+		if !ok {
+			snap = make([]float64, 3*f.Geom.N())
+			at := positionAt(step)
+			for a := 0; a < f.Geom.N(); a++ {
+				xyz := at(a)
+				copy(snap[3*a:], xyz[:])
+			}
+			stepPos[step] = snap
+		}
+		return func(atom int) [3]float64 {
+			return [3]float64{snap[3*atom], snap[3*atom+1], snap[3*atom+2]}
+		}
+	}
+
 	pol, err := coord.NewPolicy(e.graph, coord.Options{
 		Steps: n, Workers: e.Opts.Workers, Sync: !e.Opts.Async,
 		Groups: e.Opts.Groups, Batch: e.Opts.Batch, Steal: e.Opts.Steal,
 		MaxRetries: e.Opts.MaxRetries, Speculate: e.Opts.Speculate,
+		ChargeRounds: chargeRounds,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sched: %w", err)
@@ -324,6 +434,8 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 	type liveTask struct {
 		task    coord.Task
 		ex      *fragment.Extracted
+		field   *fragment.Field // embedding field (nil in vacuum / round 0)
+		charge  bool            // phase-1 charge task
 		attempt int
 	}
 	inj := e.Opts.Injector
@@ -346,14 +458,26 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 					continue
 				}
 				start := time.Now()
-				key := e.polymers[tw.task.Poly].Key()
-				en, gr, iters, skipped, err := e.evalSafe(key, tw.ex)
+				var res result
+				if tw.charge {
+					q, iters, err := e.chargeSafe(tw.ex, tw.field)
+					res = result{worker: w, task: tw.task, ex: tw.ex, charges: q, iters: iters, err: err}
+				} else if chargeRounds > 0 {
+					key := e.polymers[tw.task.Poly].Key()
+					en, gr, fg, iters, skipped, err := e.evalSafeEmbedded(key, tw.ex, tw.field)
+					res = result{worker: w, task: tw.task, e: en, grad: gr, fieldGrad: fg,
+						field: tw.field, ex: tw.ex, err: err, iters: iters, skipped: skipped}
+				} else {
+					key := e.polymers[tw.task.Poly].Key()
+					en, gr, iters, skipped, err := e.evalSafe(key, tw.ex)
+					res = result{worker: w, task: tw.task, e: en, grad: gr, ex: tw.ex, err: err,
+						iters: iters, skipped: skipped}
+				}
 				if f := inj.Straggle(w, tw.task.Poly, tw.task.Step); f > 1 {
 					time.Sleep(time.Duration(float64(time.Since(start)) * (f - 1)))
 				}
 				completed++
-				resCh <- result{worker: w, task: tw.task, e: en, grad: gr, ex: tw.ex, err: err,
-					iters: iters, skipped: skipped}
+				resCh <- res
 			}
 		}(w)
 	}
@@ -369,11 +493,36 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 			if e.Opts.TraceDispatch != nil {
 				e.Opts.TraceDispatch(t, m)
 			}
-			ex := f.ExtractAt(e.polymers[t.Poly], positionAt(int(t.Step)))
 			if firstDispatch[t.Step].IsZero() {
 				firstDispatch[t.Step] = time.Now()
 			}
-			taskCh[w] <- liveTask{task: t, ex: ex, attempt: m.Attempt}
+			if int(t.Phase) < chargeRounds {
+				// Phase-1 charge task: the monomer's capped geometry,
+				// embedded (rounds > 0) in the previous round's charges.
+				p := fragment.Polymer{Monomers: []int{int(t.Poly)}}
+				ex := f.ExtractAt(p, positionAt(int(t.Step)))
+				var fl *fragment.Field
+				if t.Phase > 0 {
+					fl = f.FieldFor(p, chargeAt(int(t.Step), int(t.Phase)-1), fieldPosAt(int(t.Step)))
+				}
+				taskCh[w] <- liveTask{task: t, ex: ex, field: fl, charge: true, attempt: m.Attempt}
+				return
+			}
+			ex := f.ExtractAt(e.polymers[t.Poly], positionAt(int(t.Step)))
+			var fl *fragment.Field
+			if chargeRounds > 0 {
+				step := int(t.Step)
+				fl = f.FieldFor(e.polymers[t.Poly], chargeAt(step, chargeRounds-1), fieldPosAt(step))
+				if !residualDone[step] {
+					// First polymer dispatch of the step: charges are
+					// final and every monomer has step positions, so
+					// fold in the far-pair residual correction once.
+					residualDone[step] = true
+					epotStep[step] += f.PairResidual(sPair, chargeAt(step, chargeRounds-1),
+						fieldPosAt(step), stepGrad(step))
+				}
+			}
+			taskCh[w] <- liveTask{task: t, ex: ex, field: fl, attempt: m.Attempt}
 		},
 		AwaitFn: func(ctx context.Context) (coord.Completion, error) {
 			var r result
@@ -388,10 +537,16 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 			if r.err != nil {
 				// A failed attempt, not a failed run: the coordinator
 				// retries it against the budget or aborts with this
-				// error attached.
+				// error attached. Charge tasks carry a monomer index in
+				// Poly, not a polymer index — name them accordingly.
+				var desc string
+				if int(r.task.Phase) < chargeRounds {
+					desc = fmt.Sprintf("charge task monomer %d round %d", r.task.Poly, r.task.Phase)
+				} else {
+					desc = fmt.Sprintf("polymer %s", e.polymers[r.task.Poly].Key())
+				}
 				return coord.Completion{Worker: r.worker, Task: r.task, WorkerDown: r.down,
-					Err: fmt.Errorf("sched: polymer %s step %d: %w",
-						e.polymers[r.task.Poly].Key(), r.task.Step, r.err)}, nil
+					Err: fmt.Errorf("sched: %s step %d: %w", desc, r.task.Step, r.err)}, nil
 			}
 			if pol.Completed(r.task) {
 				// The losing copy of a speculated task: its twin's
@@ -401,12 +556,36 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 			t := int(r.task.Step)
 			lastResult[t] = time.Now()
 			scfIterStep[t] += r.iters
+			if r.charges != nil {
+				// Phase-1 payload: fold the fragment's charges (caps
+				// onto inner atoms) into this round's parent array,
+				// damping against the previous round (the serial
+				// MonomerCharges recipe, barrier-safe because every
+				// write touches only this monomer's atoms).
+				round := int(r.task.Phase)
+				buf := make([]float64, f.Geom.N())
+				r.ex.FoldCharges(r.charges, buf)
+				dst := chargeAt(t, round)
+				damp := 0.0
+				if round > 0 {
+					damp = e.Opts.Embed.Damping
+				}
+				for _, a := range f.Monomers[r.task.Poly].Atoms {
+					v := buf[a]
+					if damp > 0 {
+						v = (1-damp)*v + damp*chargeQ[t][round-1][a]
+					}
+					dst[a] = v
+				}
+				return coord.Completion{Worker: r.worker, Task: r.task}, nil
+			}
 			if r.skipped {
 				skipStep[t]++
 			}
 			c := e.coeff[r.task.Poly]
 			epotStep[t] += c * r.e
 			r.ex.FoldGradient(r.grad, c, stepGrad(t))
+			r.field.FoldGradient(r.fieldGrad, c, stepGrad(t))
 			return coord.Completion{Worker: r.worker, Task: r.task}, nil
 		},
 	}
@@ -415,6 +594,13 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 	// polymer result lands (the policy's per-monomer release).
 	integrate := func(mi, step int32) {
 		m, t := int(mi), int(step)
+		monoAdvanced[t]++
+		if monoAdvanced[t] == nm {
+			// Every polymer of step t has completed (that is why every
+			// monomer advanced), so the step's charge field is dead.
+			delete(chargeQ, t)
+			delete(stepPos, t)
+		}
 		ms := monos[m]
 		atoms := f.Monomers[m].Atoms
 		g := stepGrad(t)
@@ -470,6 +656,7 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 		return nil, err
 	}
 
+	e0 := epotStep[0] + ekinStep[0]
 	var stats []StepStats
 	for t := 0; t < n; t++ {
 		st := StepStats{
@@ -477,6 +664,7 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 			Etot: epotStep[t] + ekinStep[t], NPolymer: npoly,
 			SCFIters: scfIterStep[t], Skipped: skipStep[t],
 		}
+		st.Drift = st.Etot - e0
 		if !firstDispatch[t].IsZero() && !lastResult[t].IsZero() {
 			st.Wall = lastResult[t].Sub(firstDispatch[t])
 		}

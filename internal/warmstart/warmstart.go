@@ -51,10 +51,23 @@ type State struct {
 	Zs  []int
 	Pos []float64
 
+	// FieldPos and FieldQ snapshot the external embedding field the
+	// evaluation ran in (nil for vacuum). Skip reuse compares the field
+	// too: a cached energy is only as good as the charges it was
+	// embedded in, so stale charges must invalidate the entry exactly
+	// like moved atoms do. Charge differences are measured on the same
+	// scale as displacements (1 e ≡ 1 Bohr — both "small" on the skip
+	// tolerance scale).
+	FieldPos []float64
+	FieldQ   []float64
+
 	// Energy and Grad are the evaluation's results; Grad may be nil for
-	// energy-only evaluations.
-	Energy float64
-	Grad   []float64
+	// energy-only evaluations. FieldGrad is the gradient on the
+	// embedding-field sites (nil for vacuum evaluations), kept so skip
+	// reuse can hand back the complete embedded force set.
+	Energy    float64
+	Grad      []float64
+	FieldGrad []float64
 
 	// Converged electronic state and fitted-basis metadata (nil/zero
 	// for stateless evaluators). D is the AO density (occupation-2
@@ -94,6 +107,39 @@ func (s *State) Snapshot(g *molecule.Geometry) {
 			s.Pos[3*i+k] = a.Pos[k]
 		}
 	}
+}
+
+// SnapshotField records the embedding field the state was computed in
+// (flat 3M site positions and M charges; both nil for vacuum). The
+// slices are copied.
+func (s *State) SnapshotField(pos, q []float64) {
+	s.FieldPos = append([]float64(nil), pos...)
+	s.FieldQ = append([]float64(nil), q...)
+}
+
+// FieldDisplacement returns the largest field mismatch between the
+// snapshot and the given field, max over per-site displacement (Bohr)
+// and per-site |Δq| (e, on the same scale). A site-count mismatch —
+// including vacuum vs embedded — returns +Inf.
+func (s *State) FieldDisplacement(pos, q []float64) float64 {
+	if len(q) != len(s.FieldQ) || len(pos) != len(s.FieldPos) {
+		return math.Inf(1)
+	}
+	var worst float64
+	for c := range q {
+		var d2 float64
+		for k := 0; k < 3; k++ {
+			dx := pos[3*c+k] - s.FieldPos[3*c+k]
+			d2 += dx * dx
+		}
+		if d := math.Sqrt(d2); d > worst {
+			worst = d
+		}
+		if dq := math.Abs(q[c] - s.FieldQ[c]); dq > worst {
+			worst = dq
+		}
+	}
+	return worst
 }
 
 // Compatible reports whether the state was computed for the same atom
@@ -216,7 +262,18 @@ func (c *Cache) Guess(key string, g *molecule.Geometry) *State {
 // since the last real evaluation, and the staleness bound has not been
 // reached, it returns that state and true, counting one more skip.
 // Otherwise it returns (nil, false) and the caller must evaluate.
+// Entries recorded with an embedding field are only reusable by
+// vacuum evaluations if the field was empty (see ReuseEmbedded).
 func (c *Cache) Reuse(key string, g *molecule.Geometry) (*State, bool) {
+	return c.ReuseEmbedded(key, g, nil, nil)
+}
+
+// ReuseEmbedded is Reuse for embedded evaluations: the skip tolerance
+// additionally bounds the embedding-field drift (site displacement in
+// Bohr and charge change in e) since the last real evaluation, so
+// cached results computed in a stale charge field are re-evaluated,
+// never reused. fieldPos/fieldQ may be nil for vacuum.
+func (c *Cache) ReuseEmbedded(key string, g *molecule.Geometry, fieldPos, fieldQ []float64) (*State, bool) {
 	if c.skipTol <= 0 {
 		return nil, false
 	}
@@ -227,6 +284,9 @@ func (c *Cache) Reuse(key string, g *molecule.Geometry) (*State, bool) {
 		return nil, false
 	}
 	if en.state.MaxDisplacement(g) >= c.skipTol {
+		return nil, false
+	}
+	if en.state.FieldDisplacement(fieldPos, fieldQ) >= c.skipTol {
 		return nil, false
 	}
 	en.skips++
