@@ -6,7 +6,7 @@
 // Usage:
 //
 //	fragmd -in system.xyz [-mode energy|grad|md|bench] [-basis sto-3g|dzp]
-//	       [-atoms-per-monomer N] [-dimer-cut Å] [-trimer-cut Å]
+//	       [-atoms-per-monomer N] [-dimer-cut Å] [-trimer-cut Å] [-ri-screen t]
 //	       [-embed] [-embed-scc N] [-embed-tol e] [-embed-damp d]
 //	       [-steps N] [-dt fs] [-temp K] [-sync] [-workers N]
 //	       [-groups N] [-batch N] [-steal]
@@ -69,6 +69,7 @@ import (
 	"github.com/fragmd/fragmd/internal/molecule"
 	"github.com/fragmd/fragmd/internal/potential"
 	"github.com/fragmd/fragmd/internal/resilience"
+	"github.com/fragmd/fragmd/internal/scf"
 	"github.com/fragmd/fragmd/internal/sched"
 	"github.com/fragmd/fragmd/internal/warmstart"
 )
@@ -109,6 +110,7 @@ func run(argv []string, out, errOut io.Writer) error {
 	batch := fs.Int("batch", 0, "tasks per coordinator batch transfer (0/1 = single-task dispatch)")
 	steal := fs.Bool("steal", false, "enable work stealing between group coordinators")
 	scs := fs.Bool("scs", false, "report SCS-MP2 energies")
+	riScreen := fs.Float64("ri-screen", 0, "Schwarz screening threshold for three-center (μν|P) integrals (0 = default 1e-12, negative disables)")
 	embed := fs.Bool("embed", false, "electrostatically embed every MBE term in the other monomers' Mulliken charges (EE-MBE)")
 	embedSCC := fs.Int("embed-scc", 0, "self-consistent charge refinement rounds beyond the vacuum round")
 	embedTol := fs.Float64("embed-tol", 0, "stop SCC early when max |Δq| falls below this (e); energy/grad modes only, 0 = run all rounds")
@@ -170,7 +172,8 @@ func run(argv []string, out, errOut io.Writer) error {
 	fmt.Fprintf(out, "fragmentation: %d monomers, %d dimers, %d trimers\n",
 		len(terms.Monomers), len(terms.Dimers), len(terms.Trimers))
 
-	eval := &potential.RIMP2{Basis: *basisName, SCS: *scs}
+	eval := &potential.RIMP2{Basis: *basisName, SCS: *scs,
+		SCFOpts: scf.Options{RIScreenThresh: *riScreen}}
 	var embedOpts *fragment.EmbedOptions
 	if *embed {
 		embedOpts = &fragment.EmbedOptions{SCC: *embedSCC, SCCTol: *embedTol, Damping: *embedDamp}

@@ -149,6 +149,9 @@ func RunGemmSuite(quick bool) *GemmBenchReport {
 			Tracked: s.tracked,
 		})
 	}
+	// End-to-end RI-MP2 fragment throughput: the blocked pair-energy
+	// loop gated against the pre-change per-(i,j) baseline.
+	rep.Rows = append(rep.Rows, runRIMP2E2ERows(quick)...)
 	return rep
 }
 
@@ -183,12 +186,13 @@ func LoadGemmReport(path string) (*GemmBenchReport, error) {
 //     (matched by name+kernel) with GFLOP/s no more than maxRegressPct
 //     percent below the baseline value. Meaningful only when baseline
 //     and current ran on comparable machines.
-//   - Relative: for every tracked shape with both a packed and a
-//     stream-NN row, the packed:stream-NN ratio — measured within one
-//     run, so machine-independent — must not fall more than
-//     maxRegressPct percent below the baseline ratio. This is the gate
-//     that still catches a packed-engine regression when the runner is
-//     faster than the machine that recorded the baseline (where the
+//   - Relative: for every tracked row whose kernel has a same-run
+//     reference (ratioReference: packed vs stream-NN, the blocked
+//     RI-MP2 pair loop vs the per-pair baseline), the speedup ratio —
+//     measured within one run, so machine-independent — must not fall
+//     more than maxRegressPct percent below the baseline ratio. This is
+//     the gate that still catches an engine regression when the runner
+//     is faster than the machine that recorded the baseline (where the
 //     absolute floors are trivially cleared).
 //
 // It returns one message per violation; empty means no regression.
@@ -218,23 +222,33 @@ func CompareGemmReports(baseline, current *GemmBenchReport, maxRegressPct float6
 			bad = append(bad, fmt.Sprintf("%s regressed: %.2f GFLOP/s < floor %.2f (baseline %.2f, tolerance %.0f%%)",
 				key, now.GFLOPS, floor, base.GFLOPS, maxRegressPct))
 		}
-		if base.Kernel != "packed" {
+		refKernel, hasRef := ratioReference[base.Kernel]
+		if !hasRef {
 			continue
 		}
-		baseNN, okB := bas[base.Name+"/stream-NN"]
-		curNN, okC := cur[base.Name+"/stream-NN"]
-		if !okB || !okC || baseNN.GFLOPS <= 0 || curNN.GFLOPS <= 0 {
+		baseRef, okB := bas[base.Name+"/"+refKernel]
+		curRef, okC := cur[base.Name+"/"+refKernel]
+		if !okB || !okC || baseRef.GFLOPS <= 0 || curRef.GFLOPS <= 0 {
 			continue
 		}
-		baseRatio := base.GFLOPS / baseNN.GFLOPS
-		curRatio := now.GFLOPS / curNN.GFLOPS
+		baseRatio := base.GFLOPS / baseRef.GFLOPS
+		curRatio := now.GFLOPS / curRef.GFLOPS
 		ratioFloor := baseRatio * (1 - maxRegressPct/100)
 		if curRatio < ratioFloor {
-			bad = append(bad, fmt.Sprintf("%s packed/stream-NN ratio regressed: %.2fx < floor %.2fx (baseline %.2fx, tolerance %.0f%%)",
-				base.Name, curRatio, ratioFloor, baseRatio, maxRegressPct))
+			bad = append(bad, fmt.Sprintf("%s %s/%s ratio regressed: %.2fx < floor %.2fx (baseline %.2fx, tolerance %.0f%%)",
+				base.Name, base.Kernel, refKernel, curRatio, ratioFloor, baseRatio, maxRegressPct))
 		}
 	}
 	return bad
+}
+
+// ratioReference maps a tracked kernel to the same-run reference kernel
+// its machine-independent speedup ratio is gated against: the packed
+// GEMM engine against the streaming NN variant, and the blocked RI-MP2
+// pair loop against the pre-change per-pair loop.
+var ratioReference = map[string]string{
+	"packed":  "stream-NN",
+	"blocked": "pairloop",
 }
 
 // GemmBench runs the GEMM/RI-MP2 microbenchmark suite, prints the
@@ -249,7 +263,12 @@ func GemmBench(c *Config) {
 		"shape", "m", "k", "n", "NN", "NT", "TN", "TT", "PK", "PK/best", "PK/mean")
 	byShape := map[string][]GemmBenchRow{}
 	var order []string
+	var e2e []GemmBenchRow
 	for _, row := range rep.Rows {
+		if row.Kernel == "blocked" || row.Kernel == "pairloop" {
+			e2e = append(e2e, row)
+			continue
+		}
 		if _, seen := byShape[row.Name]; !seen {
 			order = append(order, row.Name)
 		}
@@ -287,6 +306,30 @@ func GemmBench(c *Config) {
 	c.printf("\nShape to verify: the packed engine beats every streaming variant on the\n")
 	c.printf("large shapes (≥2× the variant mean) while small shapes stay streaming-\n")
 	c.printf("competitive — the packing-cost crossover the autotuner arbitrates.\n")
+
+	if len(e2e) > 0 {
+		c.printf("\nEnd-to-end RI-MP2 pair-energy throughput (GFLOP/s, nominal 2·naux·nvir² per pair)\n")
+		c.printf("%-18s %10s %10s %9s\n", "shape", "blocked", "pairloop", "speedup")
+		speed := map[string]map[string]float64{}
+		var e2eOrder []string
+		for _, row := range e2e {
+			if _, seen := speed[row.Name]; !seen {
+				speed[row.Name] = map[string]float64{}
+				e2eOrder = append(e2eOrder, row.Name)
+			}
+			speed[row.Name][row.Kernel] = row.GFLOPS
+		}
+		for _, name := range e2eOrder {
+			b, p := speed[name]["blocked"], speed[name]["pairloop"]
+			ratio := 0.0
+			if p > 0 {
+				ratio = b / p
+			}
+			c.printf("%-18s %10.2f %10.2f %8.2fx\n", name, b, p, ratio)
+		}
+		c.printf("\nShape to verify: the tiled pair-energy loop beats the per-(i,j) pair loop\n")
+		c.printf("by ≥1.5× — the macro-tile restructuring the baseline gate enforces.\n")
+	}
 
 	if c.BenchJSON != "" {
 		if err := rep.WriteJSON(c.BenchJSON); err != nil {

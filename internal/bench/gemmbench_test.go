@@ -120,9 +120,10 @@ func TestRunGemmSuite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 4 shapes × 5 engines in quick mode.
-	if len(rep.Rows) != 20 {
-		t.Fatalf("want 20 rows, got %d", len(rep.Rows))
+	// 4 shapes × 5 engines + the end-to-end RI-MP2 pair (blocked,
+	// pairloop) in quick mode.
+	if len(rep.Rows) != 22 {
+		t.Fatalf("want 22 rows, got %d", len(rep.Rows))
 	}
 	kernels := map[string]bool{}
 	tracked := 0
@@ -135,14 +136,15 @@ func TestRunGemmSuite(t *testing.T) {
 			tracked++
 		}
 	}
-	for _, k := range []string{"stream-NN", "stream-NT", "stream-TN", "stream-TT", "packed"} {
+	for _, k := range []string{"stream-NN", "stream-NT", "stream-TN", "stream-TT", "packed", "blocked", "pairloop"} {
 		if !kernels[k] {
 			t.Fatalf("kernel %s missing from report", k)
 		}
 	}
-	// Tracked: packed + stream-NN for each of the two acceptance shapes.
-	if tracked != 4 {
-		t.Fatalf("want 4 tracked rows, got %d", tracked)
+	// Tracked: packed + stream-NN for each of the two acceptance GEMM
+	// shapes, plus the blocked engine of the end-to-end RI-MP2 row.
+	if tracked != 5 {
+		t.Fatalf("want 5 tracked rows, got %d", tracked)
 	}
 	if !strings.Contains(out.String(), "PK/best") {
 		t.Fatal("human-readable table missing")

@@ -1,0 +1,126 @@
+package integrals
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fragmd/fragmd/internal/basis"
+	"github.com/fragmd/fragmd/internal/molecule"
+)
+
+// farDimer returns two H2 molecules separated far enough that every
+// cross-molecule shell pair is negligible — guaranteed prey for the
+// Schwarz screen at loose thresholds.
+func farDimer(t *testing.T) (*molecule.Geometry, *basis.Set) {
+	t.Helper()
+	g := molecule.New()
+	g.AddAtom(1, 0, 0, 0)
+	g.AddAtom(1, 0, 0, 1.4)
+	g.AddAtom(1, 0, 0, 14.0)
+	g.AddAtom(1, 0, 0, 15.4)
+	bs, err := basis.Build("sto-3g", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, bs
+}
+
+// Screened three-center integrals must converge monotonically to the
+// unscreened tensor as the threshold tightens, with every deviation
+// bounded by the Schwarz estimate of what was dropped.
+func TestThreeCenterScreenedConvergesToUnscreened(t *testing.T) {
+	g, bs := farDimer(t)
+	aux := basis.BuildAux(bs, g, basis.AuxOptions{})
+	exact := ThreeCenterScreened(bs, aux, nil, 0) // screening disabled
+	sw := SchwarzShellPairs(bs)
+
+	maxdiff := func(a, b []float64) float64 {
+		var m float64
+		for i := range a {
+			if d := math.Abs(a[i] - b[i]); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+
+	prev := math.Inf(1)
+	dropped := false
+	for _, thresh := range []float64{1e-4, 1e-6, 1e-8, 1e-10} {
+		scr := ThreeCenterScreened(bs, aux, sw, thresh)
+		d := maxdiff(scr.Data, exact.Data)
+		// Each skipped shell batch satisfies |(μν|P)| ≤ Q_μν·Q_P <
+		// thresh elementwise (Cauchy–Schwarz), so deviations cannot
+		// exceed the threshold by more than roundoff.
+		if d > 2*thresh {
+			t.Errorf("thresh %.0e: screened deviation %.3e exceeds Schwarz bound", thresh, d)
+		}
+		if d > prev+1e-15 {
+			t.Errorf("thresh %.0e: deviation %.3e not monotone (previous %.3e)", thresh, d, prev)
+		}
+		if d > 0 {
+			dropped = true
+		}
+		prev = d
+	}
+	if !dropped {
+		t.Error("screening dropped nothing even at 1e-4 on a far-separated dimer — screen inactive?")
+	}
+}
+
+// ThreeCenter (no screen arguments) must agree exactly with the
+// explicitly disabled screened path: both are the reference tensor.
+func TestThreeCenterDefaultIsUnscreened(t *testing.T) {
+	g, bs := farDimer(t)
+	aux := basis.BuildAux(bs, g, basis.AuxOptions{})
+	a := ThreeCenter(bs, aux)
+	b := ThreeCenterScreened(bs, aux, nil, 0)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("ThreeCenter and disabled ThreeCenterScreened differ at %d", i)
+		}
+	}
+	// A negative threshold also disables the screen even with bounds.
+	sw := SchwarzShellPairs(bs)
+	c := ThreeCenterScreened(bs, aux, sw, -1)
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			t.Fatalf("negative threshold did not disable screening at %d", i)
+		}
+	}
+}
+
+// SchwarzAux bounds must be strictly positive and actually bound the
+// three-center integrals: |(μν|P)| ≤ Q_μν · Q_P.
+func TestSchwarzAuxBoundsThreeCenter(t *testing.T) {
+	g, bs := farDimer(t)
+	aux := basis.BuildAux(bs, g, basis.AuxOptions{})
+	qaux := SchwarzAux(aux)
+	if len(qaux) != len(aux.Shells) {
+		t.Fatalf("SchwarzAux length %d != aux shell count %d", len(qaux), len(aux.Shells))
+	}
+	for ip, q := range qaux {
+		if !(q > 0) {
+			t.Fatalf("SchwarzAux[%d] = %g, want > 0", ip, q)
+		}
+	}
+	sw := SchwarzShellPairs(bs)
+	t3 := ThreeCenter(bs, aux)
+	for ip, shp := range aux.Shells {
+		for i, shi := range bs.Shells {
+			for j, shj := range bs.Shells {
+				bound := sw.At(i, j) * qaux[ip]
+				for p := shp.Start; p < shp.Start+shp.NCart(); p++ {
+					for mu := shi.Start; mu < shi.Start+shi.NCart(); mu++ {
+						for nu := shj.Start; nu < shj.Start+shj.NCart(); nu++ {
+							if v := math.Abs(t3.At(p, mu, nu)); v > bound*(1+1e-10)+1e-14 {
+								t.Fatalf("Schwarz bound violated: |(%d %d|%d)| = %.3e > %.3e",
+									mu, nu, p, v, bound)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

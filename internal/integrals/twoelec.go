@@ -171,12 +171,71 @@ func twoCenterBlock(sp, sq *basis.Shell, zeta *linalg.Mat, factor float64, grad 
 // ThreeCenter returns the three-center ERI tensor (μν|P) stored as
 // (P, μ, ν) — the B-tensor precursor of paper Eq. 6.
 func ThreeCenter(bs, aux *basis.Set) *linalg.Tensor3 {
+	return ThreeCenterScreened(bs, aux, nil, 0)
+}
+
+// SchwarzAux returns the per-auxiliary-shell Cauchy–Schwarz bounds
+// Q_P = √max|(P|P)| over the shell's diagonal metric block — the
+// ket-side factor of the three-center bound |(μν|P)| ≤ Q_μν·Q_P.
+func SchwarzAux(aux *basis.Set) []float64 {
+	q := make([]float64, len(aux.Shells))
+	parallelFor(len(aux.Shells), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sp := &aux.Shells[i]
+			blk := twoCenterBlock(sp, sp, nil, 0, nil)
+			var mx float64
+			for c := 0; c < blk.Rows; c++ {
+				if v := math.Abs(blk.At(c, c)); v > mx {
+					mx = v
+				}
+			}
+			q[i] = math.Sqrt(mx)
+		}
+	})
+	return q
+}
+
+// ThreeCenterScreened is ThreeCenter with Cauchy–Schwarz screening: a
+// bra shell pair whose bound Q_μν·max_P Q_P falls below thresh is
+// skipped outright, and a surviving pair skips the individual auxiliary
+// shells with Q_μν·Q_P < thresh. sw is SchwarzShellPairs(bs); a nil sw
+// or thresh ≤ 0 disables screening. Skipped blocks are exact zeros in
+// the returned tensor, and every retained element is computed at full
+// precision, so the screened tensor converges elementwise to the
+// unscreened one as thresh → 0 with max error below thresh.
+func ThreeCenterScreened(bs, aux *basis.Set, sw *linalg.Mat, thresh float64) *linalg.Tensor3 {
 	t := linalg.NewTensor3(aux.N, bs.N, bs.N)
+	screen := sw != nil && thresh > 0
+	var qaux []float64
 	pairs := upperPairs(len(bs.Shells))
+	if screen {
+		qaux = SchwarzAux(aux)
+		var qmax float64
+		for _, v := range qaux {
+			if v > qmax {
+				qmax = v
+			}
+		}
+		kept := pairs[:0]
+		for _, pr := range pairs {
+			if sw.At(pr[0], pr[1])*qmax >= thresh {
+				kept = append(kept, pr)
+			}
+		}
+		pairs = kept
+	}
 	parallelFor(len(pairs), func(lo, hi int) {
 		for idx := lo; idx < hi; idx++ {
-			sa, sb := &bs.Shells[pairs[idx][0]], &bs.Shells[pairs[idx][1]]
+			ia, ib := pairs[idx][0], pairs[idx][1]
+			sa, sb := &bs.Shells[ia], &bs.Shells[ib]
+			var bound float64
+			if screen {
+				bound = sw.At(ia, ib)
+			}
 			for ip := range aux.Shells {
+				if screen && bound*qaux[ip] < thresh {
+					continue
+				}
 				sp := &aux.Shells[ip]
 				blk := threeCenterBlock(sa, sb, sp, nil, 0, nil)
 				na, nb := sa.NCart(), sb.NCart()

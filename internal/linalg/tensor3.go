@@ -37,6 +37,31 @@ func (t *Tensor3) Flatten() *Mat {
 	return &Mat{Rows: t.N1, Cols: t.N2 * t.N3, Data: t.Data}
 }
 
+// FlattenRows returns a zero-copy (N1·N2)×N3 matrix view of the tensor,
+// used to transform the trailing index of every (p, i) row with one
+// batched GEMM — the macro-tile shape of the DF/RI-MP2 AO→MO pipeline.
+func (t *Tensor3) FlattenRows() *Mat {
+	return &Mat{Rows: t.N1 * t.N2, Cols: t.N3, Data: t.Data}
+}
+
+// TransposeBlocks returns a new N1×N3×N2 tensor with every leading-index
+// block transposed: out(p, j, i) = t(p, i, j). It is the reorder between
+// the two batched GEMMs of the AO→MO transform.
+func (t *Tensor3) TransposeBlocks() *Tensor3 {
+	out := NewTensor3(t.N1, t.N3, t.N2)
+	for p := 0; p < t.N1; p++ {
+		src := t.Slice(p)
+		dst := out.Slice(p)
+		for i := 0; i < t.N2; i++ {
+			row := src.Row(i)
+			for j, v := range row {
+				dst.Data[j*t.N2+i] = v
+			}
+		}
+	}
+	return out
+}
+
 // Clone returns a deep copy.
 func (t *Tensor3) Clone() *Tensor3 {
 	c := NewTensor3(t.N1, t.N2, t.N3)

@@ -19,6 +19,10 @@ func TestDebugIdentities(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The energy stage only materializes Qov; the gradient intermediates
+	// this test white-boxes are built on demand.
+	r.buildBov()
+	r.buildBmo()
 	nocc := ref.NOcc
 	nvir := ref.NVirt()
 	naux := ref.Aux.N

@@ -67,8 +67,14 @@ func (r *Result) gradientParts(split bool) (map[string][]float64, error) {
 	naux := ref.Aux.N
 	eps := ref.Eps
 	tuner := r.opts.Tuner
+	// The gradient reuses the batched Qov from the energy stage: bov is
+	// a pure reorder of it, and the full-MO bmo is built lazily here
+	// with the same two-batched-GEMM pipeline.
 	if r.bov == nil {
-		r.buildMOIntegrals()
+		r.buildBov()
+	}
+	if r.bmo == nil {
+		r.buildBmo()
 	}
 
 	// ---- amplitudes, unrelaxed density blocks, gamma --------------------

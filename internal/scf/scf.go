@@ -49,6 +49,13 @@ type Options struct {
 	// SchwarzThresh screens shell quartets on the conventional path
 	// (default 1e-12).
 	SchwarzThresh float64
+	// RIScreenThresh is the Cauchy–Schwarz threshold for three-center
+	// (μν|P) generation on the RI path: bra shell pairs whose bound
+	// Q_μν·Q_P falls below it are skipped, so distant-pair integral
+	// work vanishes while retained integrals stay exact (max elementwise
+	// error below the threshold). 0 selects the 1e-12 default; any
+	// negative value disables screening entirely.
+	RIScreenThresh float64
 	// Tuner routes GEMMs; nil uses autotune.Default.
 	Tuner *autotune.Tuner
 	// GuessDensity, when non-nil and dimensioned nbf×nbf, replaces the
@@ -92,6 +99,9 @@ func (o *Options) fill() {
 	if o.SchwarzThresh == 0 {
 		o.SchwarzThresh = 1e-12
 	}
+	if o.RIScreenThresh == 0 {
+		o.RIScreenThresh = 1e-12
+	}
 	if o.Tuner == nil {
 		o.Tuner = autotune.Default
 	}
@@ -127,7 +137,9 @@ type Result struct {
 	JInvHalf *linalg.Mat     // J^{-1/2}
 	B        *linalg.Tensor3 // B^P_μν = Σ_Q J^{-1/2}_PQ (Q|μν)
 
-	// Conventional intermediates (nil on the RI path).
+	// Schwarz holds the shell-pair Cauchy–Schwarz bounds: always set on
+	// the conventional path, and on the RI path whenever three-center
+	// screening is enabled (Options.RIScreenThresh > 0).
 	Schwarz *linalg.Mat
 	// ERI is the stored four-center tensor when Options.StoredERI was
 	// set (reused by the conventional-MP2 baseline).
@@ -186,7 +198,12 @@ func RHF(g *molecule.Geometry, bs *basis.Set, opts Options) (*Result, error) {
 	var fockBuild func(d *linalg.Mat, co *linalg.Mat) *linalg.Mat
 	if opts.UseRI {
 		res.Aux = basis.BuildAux(bs, g, opts.AuxOpts)
-		res.V3 = integrals.ThreeCenter(bs, res.Aux)
+		if th := opts.RIScreenThresh; th > 0 {
+			res.Schwarz = integrals.SchwarzShellPairs(bs)
+			res.V3 = integrals.ThreeCenterScreened(bs, res.Aux, res.Schwarz, th)
+		} else {
+			res.V3 = integrals.ThreeCenter(bs, res.Aux)
+		}
 		res.J2 = integrals.TwoCenter(res.Aux)
 		res.JInvHalf = linalg.InvSqrtSym(res.J2, 1e-10)
 		res.B = linalg.NewTensor3(res.Aux.N, bs.N, bs.N)
