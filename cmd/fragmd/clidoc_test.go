@@ -1,0 +1,110 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// captureFlagSet runs the CLI far enough to register every flag of the
+// surface selected by argv and returns the FlagSet via the pre-Parse
+// test hook (the run itself fails fast on validation and is ignored).
+func captureFlagSet(t *testing.T, argv []string) *flag.FlagSet {
+	t.Helper()
+	var got *flag.FlagSet
+	testHookFlagSet = func(fs *flag.FlagSet) { got = fs }
+	defer func() { testHookFlagSet = nil }()
+	run(argv, io.Discard, io.Discard)
+	if got == nil {
+		t.Fatalf("run(%q) never registered a flag set", argv)
+	}
+	return got
+}
+
+// docFlagRow renders the canonical docs/CLI.md table row for a flag —
+// the exact form the cross-check expects, offered in failure messages
+// so fixing the doc is a copy-paste.
+func docFlagRow(f *flag.Flag) string {
+	def := ""
+	if f.DefValue != "" {
+		def = "`" + f.DefValue + "`"
+	}
+	usage := strings.ReplaceAll(f.Usage, "|", `\|`)
+	return fmt.Sprintf("| `-%s` | %s | %s |", f.Name, def, usage)
+}
+
+// parseDocSection returns flag name → documented default cell for the
+// table under the given "## header" section of docs/CLI.md.
+func parseDocSection(t *testing.T, path, header string) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := regexp.MustCompile("^\\|\\s*`-([^`]+)`\\s*\\|([^|]*)\\|")
+	flags := map[string]string{}
+	inSection := false
+	for _, ln := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(ln, "## ") {
+			inSection = strings.TrimSpace(strings.TrimPrefix(ln, "## ")) == header
+			continue
+		}
+		if !inSection {
+			continue
+		}
+		if m := row.FindStringSubmatch(ln); m != nil {
+			flags[m[1]] = strings.TrimSpace(m[2])
+		}
+	}
+	if len(flags) == 0 {
+		t.Fatalf("docs/CLI.md has no flag table under %q", "## "+header)
+	}
+	return flags
+}
+
+// checkDocSection cross-checks one CLI surface against its docs/CLI.md
+// table: every registered flag must be documented with the right
+// default, and every documented flag must exist.
+func checkDocSection(t *testing.T, path, header string, fs *flag.FlagSet) {
+	t.Helper()
+	doc := parseDocSection(t, path, header)
+	fs.VisitAll(func(f *flag.Flag) {
+		def, ok := doc[f.Name]
+		if !ok {
+			t.Errorf("docs/CLI.md %q table is missing -%s; add:\n%s", header, f.Name, docFlagRow(f))
+			return
+		}
+		want := ""
+		if f.DefValue != "" {
+			want = "`" + f.DefValue + "`"
+		}
+		if def != want {
+			t.Errorf("docs/CLI.md %q documents -%s default as %q, flag says %q", header, f.Name, def, want)
+		}
+		delete(doc, f.Name)
+	})
+	for name := range doc {
+		t.Errorf("docs/CLI.md %q documents -%s, which %s does not define", header, name, header)
+	}
+}
+
+// TestCLIDocMatchesFlags pins docs/CLI.md to the real flag sets via
+// flag.VisitAll: adding, removing, or re-defaulting any fragmd flag
+// without updating the manual fails here.
+func TestCLIDocMatchesFlags(t *testing.T) {
+	const doc = "../../docs/CLI.md"
+	for _, c := range []struct {
+		header string
+		argv   []string
+	}{
+		{"fragmd", nil},
+		{"fragmd worker", []string{"worker"}},
+		{"fragmd coordinate", []string{"coordinate"}},
+	} {
+		checkDocSection(t, doc, c.header, captureFlagSet(t, c.argv))
+	}
+}

@@ -78,6 +78,11 @@ import (
 // already been printed (exit 2, matching the pre-FlagSet behaviour).
 var errUsage = errors.New("fragmd: usage error")
 
+// testHookFlagSet, when non-nil, observes every fully-registered
+// FlagSet just before Parse. It is the seam for the docs/CLI.md
+// cross-check test and must stay nil in production.
+var testHookFlagSet func(*flag.FlagSet)
+
 func main() {
 	switch err := run(os.Args[1:], os.Stdout, os.Stderr); {
 	case err == nil:
@@ -91,8 +96,18 @@ func main() {
 }
 
 // run is the testable entry point: it parses argv, writes reports to
-// out and diagnostics to errOut.
+// out and diagnostics to errOut. The first argument may name a
+// subcommand — "worker" or "coordinate", the distributed roles — and
+// everything else is the classic single-process CLI.
 func run(argv []string, out, errOut io.Writer) error {
+	if len(argv) > 0 {
+		switch argv[0] {
+		case "worker":
+			return runWorkerCmd(argv[1:], out, errOut)
+		case "coordinate":
+			return runCoordinate(argv[1:], out, errOut)
+		}
+	}
 	fs := flag.NewFlagSet("fragmd", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	in := fs.String("in", "", "input XYZ file (required)")
@@ -123,6 +138,9 @@ func run(argv []string, out, errOut io.Writer) error {
 	resume := fs.Bool("resume", false, "resume the trajectory from -checkpoint instead of starting fresh")
 	retries := fs.Int("retries", 0, "per-task failure retry budget (0 = failures are fatal)")
 	speculate := fs.Bool("speculate", false, "re-dispatch straggling tasks to idle workers (first copy wins)")
+	if testHookFlagSet != nil {
+		testHookFlagSet(fs)
+	}
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return err
@@ -222,7 +240,7 @@ func run(argv []string, out, errOut io.Writer) error {
 			}
 		}
 	case "md":
-		if err := runMD(out, g, f, eval, engOpts, *steps, *temp, *ckPath, *ckEvery, *resume); err != nil {
+		if err := runMD(out, g, f, eval, engOpts, *steps, *temp, *ckPath, *ckEvery, *resume, nil); err != nil {
 			return err
 		}
 	case "bench":
@@ -243,9 +261,12 @@ func run(argv []string, out, errOut io.Writer) error {
 // the checkpointed geometry as its local step 0 — the same boundary
 // semantics as chaining two engine runs — so the assembled trajectory
 // reproduces an uninterrupted one; the duplicated boundary step is not
-// re-reported.
+// re-reported. prep, when non-nil, runs before each chunk's engine is
+// built and may rewrite the options — the distributed coordinator uses
+// it to re-snapshot the worker fleet at every chunk boundary.
 func runMD(out io.Writer, g *molecule.Geometry, f *fragment.Fragmentation, eval fragment.Evaluator,
-	engOpts sched.Options, steps int, temp float64, ckPath string, ckEvery int, resume bool) error {
+	engOpts sched.Options, steps int, temp float64, ckPath string, ckEvery int, resume bool,
+	prep func(*sched.Options) error) error {
 	// One cache shared across chunks (and checkpoints) when incremental
 	// evaluation is on; a cold run stays cold.
 	cache := engOpts.Cache
@@ -314,6 +335,11 @@ func runMD(out io.Writer, g *molecule.Geometry, f *fragment.Fragmentation, eval 
 		chunk := steps - done + offset
 		if ckEvery > 0 && chunk > ckEvery+offset {
 			chunk = ckEvery + offset
+		}
+		if prep != nil {
+			if err := prep(&engOpts); err != nil {
+				return err
+			}
 		}
 		eng, err := sched.New(f, eval, engOpts)
 		if err != nil {

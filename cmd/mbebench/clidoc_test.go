@@ -1,0 +1,72 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestCLIDocMatchesFlags pins the mbebench table in docs/CLI.md to the
+// real flag set via flag.VisitAll: adding, removing, or re-defaulting
+// a flag without updating the manual fails here. (The fragmd sections
+// are checked by the sibling test in cmd/fragmd.)
+func TestCLIDocMatchesFlags(t *testing.T) {
+	var fs *flag.FlagSet
+	testHookFlagSet = func(got *flag.FlagSet) { fs = got }
+	defer func() { testHookFlagSet = nil }()
+	run(nil, io.Discard, io.Discard)
+	if fs == nil {
+		t.Fatal("run() never registered a flag set")
+	}
+
+	data, err := os.ReadFile("../../docs/CLI.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := regexp.MustCompile("^\\|\\s*`-([^`]+)`\\s*\\|([^|]*)\\|")
+	doc := map[string]string{}
+	inSection := false
+	for _, ln := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(ln, "## ") {
+			inSection = strings.TrimSpace(strings.TrimPrefix(ln, "## ")) == "mbebench"
+			continue
+		}
+		if inSection {
+			if m := row.FindStringSubmatch(ln); m != nil {
+				doc[m[1]] = strings.TrimSpace(m[2])
+			}
+		}
+	}
+	if len(doc) == 0 {
+		t.Fatal(`docs/CLI.md has no flag table under "## mbebench"`)
+	}
+
+	fs.VisitAll(func(f *flag.Flag) {
+		def, ok := doc[f.Name]
+		if !ok {
+			usage := strings.ReplaceAll(f.Usage, "|", `\|`)
+			want := ""
+			if f.DefValue != "" {
+				want = "`" + f.DefValue + "`"
+			}
+			t.Errorf("docs/CLI.md mbebench table is missing -%s; add:\n%s",
+				f.Name, fmt.Sprintf("| `-%s` | %s | %s |", f.Name, want, usage))
+			return
+		}
+		want := ""
+		if f.DefValue != "" {
+			want = "`" + f.DefValue + "`"
+		}
+		if def != want {
+			t.Errorf("docs/CLI.md documents mbebench -%s default as %q, flag says %q", f.Name, def, want)
+		}
+		delete(doc, f.Name)
+	})
+	for name := range doc {
+		t.Errorf("docs/CLI.md documents mbebench -%s, which the binary does not define", name)
+	}
+}

@@ -6,7 +6,8 @@
 //	mbebench -list
 //
 // Experiments: table1 fig1 table2 table3 fig3 table4 gemm autotune fig5
-// fig6 async warmstart embed hier resilience fig7 fig8 table5 all
+// fig6 async warmstart embed hier resilience netcoord fig7 fig8 table5
+// all
 //
 // By default workloads are shrunk to development-box scale; -full runs
 // the paper-size configurations (the exascale experiments remain
@@ -62,12 +63,18 @@ var experiments = []struct {
 	{"embed", bench.Embed, "EE-MBE accuracy vs supersystem + two-phase scheduling cost (§8)"},
 	{"hier", bench.Hier, "hierarchical group coordinators vs flat scheduler (§VII)"},
 	{"resilience", bench.Resilience, "failure injection: throughput and lost work vs node MTBF"},
+	{"netcoord", bench.NetCoord, "network backend A/B oracle: live localhost TCP vs simulation"},
 	{"fig7", bench.Fig7, "strong scaling on Perlmutter/Frontier models"},
 	{"fig8", bench.Fig8, "weak scaling at 4 polymers/GCD"},
 	{"table5", bench.Table5, "record runs: million-electron urea, 2BEG latency"},
 }
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// testHookFlagSet, when non-nil, observes the fully-registered FlagSet
+// just before Parse. It is the seam for the docs/CLI.md cross-check
+// test and must stay nil in production.
+var testHookFlagSet func(*flag.FlagSet)
 
 // run is the testable entry point: it parses argv, executes the named
 // experiments against stdout, and returns a process exit code.
@@ -81,6 +88,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	maxRegress := fs.Float64("max-regress", 25, "allowed GFLOP/s regression vs baseline, percent")
 	seed := fs.Int64("seed", 0, "cluster-simulator RNG seed for reproducible fig7/fig8/table5/hier runs (0 = default)")
 	jitter := fs.Float64("jitter", 0, "simulated task-runtime noise, fraction in [0,1) (0 = deterministic model; hier substitutes 0.1)")
+	if testHookFlagSet != nil {
+		testHookFlagSet(fs)
+	}
 	if err := fs.Parse(argv); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0

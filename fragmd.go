@@ -43,6 +43,7 @@
 package fragmd
 
 import (
+	"context"
 	"math/rand"
 
 	"github.com/fragmd/fragmd/internal/autotune"
@@ -53,6 +54,7 @@ import (
 	"github.com/fragmd/fragmd/internal/linalg"
 	"github.com/fragmd/fragmd/internal/md"
 	"github.com/fragmd/fragmd/internal/molecule"
+	"github.com/fragmd/fragmd/internal/netcoord"
 	"github.com/fragmd/fragmd/internal/potential"
 	"github.com/fragmd/fragmd/internal/resilience"
 	"github.com/fragmd/fragmd/internal/sched"
@@ -279,9 +281,46 @@ func Simulate(w *Workload, m Machine, opts SimOptions) (*SimResult, error) {
 	return cluster.Simulate(w, m, opts)
 }
 
+// Distributed-backend types (gob-over-TCP worker fleet, DESIGN.md
+// §10): a Coordinator accepts WorkerProcess connections and hands the
+// engine a remote executor via EngineOptions.Exec, so an MD trajectory
+// runs across OS processes with the same scheduling policy — and the
+// same failure semantics — as the in-process pool.
+type (
+	// Coordinator listens for worker processes and snapshots the live
+	// fleet into per-run executors (Coordinator.Executor).
+	Coordinator = netcoord.Coordinator
+	// CoordinatorOptions configures listening, the evaluator spec the
+	// workers must build, and heartbeat/eviction timing.
+	CoordinatorOptions = netcoord.CoordinatorOptions
+	// WorkerOptions configures one worker process: slot count,
+	// warm-start cache, and the redial policy.
+	WorkerOptions = netcoord.WorkerOptions
+	// EvalSpec names an evaluator configuration portably, so the
+	// coordinator can ship it to workers in the handshake.
+	EvalSpec = netcoord.EvalSpec
+)
+
+// ListenCoordinator starts accepting worker connections; pass
+// Coordinator.Executor() output via EngineOptions.Exec to run an
+// engine over the fleet.
+func ListenCoordinator(addr string, opts CoordinatorOptions) (*Coordinator, error) {
+	return netcoord.Listen(addr, opts)
+}
+
+// RunWorkerProcess serves evaluation tasks to the coordinator at addr
+// until ctx is cancelled, redialling through coordinator restarts (see
+// WorkerOptions.Redial). It is the library form of "fragmd worker".
+func RunWorkerProcess(ctx context.Context, addr string, opts WorkerOptions) error {
+	return netcoord.RunWorker(ctx, addr, opts)
+}
+
 // GEMMFLOPs returns the global GEMM FLOP counter (2·m·n·k per call, the
 // paper's measurement mechanism); ResetGEMMFLOPs zeroes it.
-func GEMMFLOPs() int64      { return linalg.FLOPs() }
+func GEMMFLOPs() int64 { return linalg.FLOPs() }
+
+// ResetGEMMFLOPs zeroes the global GEMM FLOP counter and returns the
+// value it held.
 func ResetGEMMFLOPs() int64 { return linalg.ResetFLOPs() }
 
 // DefaultTuner is the process-wide runtime GEMM auto-tuner (§V-G).

@@ -1,7 +1,9 @@
 package fragmd_test
 
 import (
+	"context"
 	"math"
+	"math/rand"
 	"testing"
 
 	"github.com/fragmd/fragmd"
@@ -77,5 +79,57 @@ func TestPublicAPIFLOPs(t *testing.T) {
 	}
 	if fragmd.GEMMFLOPs() <= 0 {
 		t.Error("GEMM FLOP counter did not advance during an RI-MP2 evaluation")
+	}
+}
+
+// Public API distributed backend: the same LJ trajectory run in
+// process and over a localhost worker fleet must agree step for step
+// (DESIGN.md §10).
+func TestPublicAPIDistributed(t *testing.T) {
+	sys := fragmd.WaterCluster(4)
+	frag, err := fragmd.FragmentByMolecule(sys, 3, 1, fragmd.FragmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, local, err := fragmd.RunAIMD(frag, fragmd.NewLennardJonesPotential(), 150, 0.25, 5, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := fragmd.ListenCoordinator("127.0.0.1:0", fragmd.CoordinatorOptions{
+		Eval: fragmd.EvalSpec{Potential: "lj"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		go fragmd.RunWorkerProcess(ctx, c.Addr(), fragmd.WorkerOptions{Slots: 2})
+	}
+	if _, err := c.WaitWorkers(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	x := c.Executor()
+	eng, err := fragmd.NewEngine(frag, nil, fragmd.EngineOptions{
+		Async: true, Dt: 0.25 * fragmd.AtomicTimePerFs, Exec: x, Groups: x.Procs(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := fragmd.NewMDState(frag.Geom.Clone())
+	st.SampleVelocities(150, rand.New(rand.NewSource(1)))
+	remote, err := eng.Run(st, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remote) != len(local) {
+		t.Fatalf("remote run reported %d steps, local %d", len(remote), len(local))
+	}
+	for i := range local {
+		if d := math.Abs(remote[i].Etot - local[i].Etot); d > 1e-10 {
+			t.Errorf("step %d: |ΔEtot| = %.3e Ha between network and in-process engines", i, d)
+		}
 	}
 }

@@ -34,7 +34,14 @@ type Completion struct {
 // of duplicate completions of already-Completed tasks must be dropped,
 // not accumulated.
 type Backend interface {
-	// Workers returns the number of workers (must stay constant).
+	// Workers returns the number of workers and must stay constant for
+	// the whole run. Worker identity is a *dense fixed handle*: workers
+	// are exactly 0..Workers()-1, assigned once before the run and
+	// never re-issued. An evicted handle stays dead — backends with
+	// late-joining physical workers (the network backend) must park
+	// them until the next run's handle assignment rather than reusing a
+	// dead slot, and RunContext enforces this by aborting on any
+	// completion that names an out-of-range or already-evicted worker.
 	Workers() int
 	// Dispatch starts t on idle worker w; m carries the coordination
 	// events (batch refill, steal, attempt number, speculation) that
@@ -53,8 +60,13 @@ type BackendFuncs struct {
 	AwaitFn    func(ctx context.Context) (Completion, error)
 }
 
-func (b *BackendFuncs) Workers() int                           { return b.NumWorkers }
+// Workers reports the fixed worker count of the adapted backend.
+func (b *BackendFuncs) Workers() int { return b.NumWorkers }
+
+// Dispatch forwards to DispatchFn.
 func (b *BackendFuncs) Dispatch(w int, t Task, m DispatchMeta) { b.DispatchFn(w, t, m) }
+
+// Await forwards to AwaitFn.
 func (b *BackendFuncs) Await(ctx context.Context) (Completion, error) {
 	return b.AwaitFn(ctx)
 }
@@ -115,6 +127,7 @@ func RunContext(ctx context.Context, p *Policy, b Backend, onAdvance func(mono, 
 		idle[g] = append(idle[g], w) // pop order: lowest worker first
 	}
 	alive := nw
+	evicted := make([]bool, nw)
 	inflight := 0
 	// attempts/retries/speculated only ever hold tasks that failed or
 	// were speculated — a vanishing fraction — and the speculation
@@ -208,6 +221,17 @@ func RunContext(ctx context.Context, p *Policy, b Backend, onAdvance func(mono, 
 		if err != nil {
 			return st, err
 		}
+		// Worker identity is a dense fixed handle (see Backend.Workers):
+		// a completion naming a handle outside 0..nw-1, or one already
+		// evicted, is a backend identity bug (a late joiner reusing a
+		// dead slot would silently rejoin the idle pool), so fail loud.
+		if c.Worker < 0 || c.Worker >= nw {
+			return st, fmt.Errorf("coord: completion from worker %d outside the run's dense handle range 0..%d",
+				c.Worker, nw-1)
+		}
+		if evicted[c.Worker] {
+			return st, fmt.Errorf("coord: completion from evicted worker %d — handles are never re-issued within a run; late-joining workers must wait for the next run", c.Worker)
+		}
 		inflight--
 		live[c.Task]--
 		if live[c.Task] == 0 {
@@ -216,6 +240,7 @@ func RunContext(ctx context.Context, p *Policy, b Backend, onAdvance func(mono, 
 		if c.WorkerDown {
 			st.Evicted++
 			alive--
+			evicted[c.Worker] = true
 		} else {
 			g := p.GroupOf(c.Worker)
 			idle[g] = append(idle[g], c.Worker)

@@ -349,3 +349,61 @@ func TestCompletedAndRequeue(t *testing.T) {
 		t.Error("double Complete decremented remaining twice")
 	}
 }
+
+// Worker identity is a dense fixed handle: once a handle is evicted, a
+// backend that lets a late joiner reuse the dead slot (or invents a
+// handle outside the range) must be caught, not silently re-admitted to
+// the idle pool.
+func TestRunRejectsForgedWorkerIdentity(t *testing.T) {
+	run := func(forge func(c Completion, evictedSeen bool) Completion) error {
+		g := chainGraph(t, 4, false)
+		p, err := NewPolicy(g, Options{Steps: 1, Workers: 2, MaxRetries: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var queue []Completion
+		evictedSeen := false
+		b := &BackendFuncs{
+			NumWorkers: 2,
+			DispatchFn: func(w int, tk Task, m DispatchMeta) {
+				c := Completion{Worker: w, Task: tk}
+				if w == 0 && !evictedSeen {
+					// First attempt on worker 0 kills it.
+					c.Err = errors.New("injected death")
+					c.WorkerDown = true
+				} else {
+					c = forge(c, evictedSeen)
+				}
+				queue = append(queue, c)
+			},
+			AwaitFn: func(context.Context) (Completion, error) {
+				c := queue[0]
+				queue = queue[1:]
+				if c.WorkerDown {
+					evictedSeen = true
+				}
+				return c, nil
+			},
+		}
+		_, err = RunContext(context.Background(), p, b, nil)
+		return err
+	}
+
+	err := run(func(c Completion, evictedSeen bool) Completion {
+		if evictedSeen {
+			c.Worker = 0 // a late joiner squatting on the dead slot
+		}
+		return c
+	})
+	if err == nil || !strings.Contains(err.Error(), "evicted worker") {
+		t.Fatalf("completion reusing an evicted handle not rejected: %v", err)
+	}
+
+	err = run(func(c Completion, evictedSeen bool) Completion {
+		c.Worker = 7 // outside the dense handle range
+		return c
+	})
+	if err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("completion with out-of-range handle not rejected: %v", err)
+	}
+}

@@ -116,8 +116,22 @@ type Options struct {
 	Timeout time.Duration
 	// Injector, when non-nil, injects seeded deterministic failures —
 	// task-level failures, worker deaths, slow-worker stragglers — for
-	// chaos testing. See internal/resilience.
+	// chaos testing. See internal/resilience. Ignored when Exec is set
+	// (network chaos is injected at the transport: killed worker
+	// processes and severed connections).
 	Injector *resilience.FailureInjector
+
+	// Exec, when non-nil, replaces the in-process evaluator pool with
+	// an external Executor (the network backend, internal/netcoord):
+	// every dispatched attempt is handed to Exec.Execute and its
+	// outcome read back from Exec.Results(), while all coordination —
+	// scheduling policy, integration, gradient folding, retries,
+	// eviction, speculation — stays in this engine. Workers must be 0
+	// (adopting Exec.Workers()) or equal it. Evaluation happens on the
+	// remote workers, so Eval may be nil and WarmStart/SkipTol/Cache
+	// and Injector are ignored (remote workers own their caches; see
+	// the fragmd worker flags).
+	Exec Executor
 
 	// TraceDispatch, when non-nil, observes every dispatch in order —
 	// the policy-equivalence test hook shared with the cluster
@@ -207,6 +221,17 @@ func New(f *fragment.Fragmentation, eval fragment.Evaluator, opts Options) (*Eng
 	if opts.MaxRetries < 0 {
 		return nil, fmt.Errorf("sched: retry budget %d must not be negative", opts.MaxRetries)
 	}
+	if opts.Exec != nil {
+		// External execution: the engine coordinates, the executor's
+		// worker slots evaluate. Worker count is the executor's.
+		if opts.Workers == 0 {
+			opts.Workers = opts.Exec.Workers()
+		}
+		if opts.Workers != opts.Exec.Workers() {
+			return nil, fmt.Errorf("sched: worker count %d differs from executor's %d slots",
+				opts.Workers, opts.Exec.Workers())
+		}
+	}
 	if opts.Workers == 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -217,18 +242,25 @@ func New(f *fragment.Fragmentation, eval fragment.Evaluator, opts Options) (*Eng
 		if err := opts.Embed.Validate(); err != nil {
 			return nil, fmt.Errorf("sched: %w", err)
 		}
-		if _, ok := eval.(fragment.EmbeddedEvaluator); !ok {
-			return nil, fmt.Errorf("sched: evaluator %T cannot evaluate embedded fragments", eval)
-		}
-		if _, ok := eval.(fragment.ChargeSource); !ok {
-			return nil, fmt.Errorf("sched: evaluator %T cannot derive monomer charges", eval)
+		// With an external executor the remote workers own evaluation
+		// (their evaluators are checked worker-side); locally the
+		// evaluator must support the embedded primitives.
+		if opts.Exec == nil {
+			if _, ok := eval.(fragment.EmbeddedEvaluator); !ok {
+				return nil, fmt.Errorf("sched: evaluator %T cannot evaluate embedded fragments", eval)
+			}
+			if _, ok := eval.(fragment.ChargeSource); !ok {
+				return nil, fmt.Errorf("sched: evaluator %T cannot derive monomer charges", eval)
+			}
 		}
 	}
 	e := &Engine{Frag: f, Eval: eval, Opts: opts}
-	if opts.Cache != nil {
-		e.cache = opts.Cache
-	} else if opts.WarmStart || opts.SkipTol > 0 {
-		e.cache = warmstart.NewCache(opts.SkipTol, opts.MaxSkip)
+	if opts.Exec == nil {
+		if opts.Cache != nil {
+			e.cache = opts.Cache
+		} else if opts.WarmStart || opts.SkipTol > 0 {
+			e.cache = warmstart.NewCache(opts.SkipTol, opts.MaxSkip)
+		}
 	}
 	e.terms = f.Terms()
 	coeffMap := e.terms.Coefficients()
@@ -308,8 +340,9 @@ func (e *Engine) chargeSafe(ex *fragment.Extracted, fl *fragment.Field) (q []flo
 
 // Run integrates n time steps (n force evaluations per monomer) starting
 // from state. The observer fires once per completed step with assembled
-// energies. The state is mutated to the final step. Returns per-step
-// statistics.
+// energies, streamed in step order the moment each step finalizes —
+// during the run, not after it — so drivers can report live progress.
+// The state is mutated to the final step. Returns per-step statistics.
 func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, error) {
 	if n <= 0 {
 		return nil, errors.New("sched: need at least one step")
@@ -439,9 +472,18 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 		attempt int
 	}
 	inj := e.Opts.Injector
+	exec := e.Opts.Exec
+	// With an external executor the coordinator must be able to fold
+	// remote payloads back onto the parent system, so it remembers each
+	// slot's in-flight extraction bookkeeping (at most one attempt is
+	// outstanding per slot).
+	var pending map[int]liveTask
+	if exec != nil {
+		pending = make(map[int]liveTask, e.Opts.Workers)
+	}
 	taskCh := make([]chan liveTask, e.Opts.Workers)
 	resCh := make(chan result, e.Opts.Workers)
-	for w := 0; w < e.Opts.Workers; w++ {
+	for w := 0; w < e.Opts.Workers && exec == nil; w++ {
 		taskCh[w] = make(chan liveTask, 1)
 		go func(w int) {
 			completed := 0
@@ -483,9 +525,60 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 	}
 	defer func() {
 		for _, ch := range taskCh {
-			close(ch)
+			if ch != nil {
+				close(ch)
+			}
 		}
 	}()
+
+	// send hands one attempt to whichever execution substrate is
+	// configured: the in-process goroutine pool, or the external
+	// executor (serialising only the standalone geometry and field —
+	// the fold bookkeeping stays here in pending).
+	send := func(w int, tw liveTask) {
+		if exec == nil {
+			taskCh[w] <- tw
+			return
+		}
+		pending[w] = tw
+		req := ExecRequest{Task: tw.task, Attempt: tw.attempt, Charge: tw.charge,
+			Embed: chargeRounds > 0, Geom: tw.ex.Geom, Field: tw.field.PC()}
+		if !tw.charge {
+			req.Key = e.polymers[tw.task.Poly].Key()
+		}
+		exec.Execute(w, req)
+	}
+	// recv blocks for the next attempt outcome from the configured
+	// substrate, rejoining executor results with their pending fold
+	// bookkeeping.
+	recv := func(ctx context.Context) (result, error) {
+		if exec == nil {
+			select {
+			case r := <-resCh:
+				return r, nil
+			case <-ctx.Done():
+				return result{}, ctx.Err()
+			}
+		}
+		select {
+		case xr := <-exec.Results():
+			tw, ok := pending[xr.Worker]
+			if !ok {
+				return result{}, fmt.Errorf("sched: executor result for idle worker slot %d", xr.Worker)
+			}
+			if xr.Task != tw.task {
+				return result{}, fmt.Errorf("sched: executor result for task %v on slot %d running %v",
+					xr.Task, xr.Worker, tw.task)
+			}
+			delete(pending, xr.Worker)
+			return result{worker: xr.Worker, task: xr.Task, e: xr.E, grad: xr.Grad,
+				fieldGrad: xr.FieldGrad, charges: xr.Charges, iters: xr.Iters,
+				skipped: xr.Skipped, err: xr.Err, down: xr.WorkerDown,
+				ex: tw.ex, field: tw.field}, nil
+		case <-ctx.Done():
+			return result{}, ctx.Err()
+		}
+	}
 
 	backend := &coord.BackendFuncs{
 		NumWorkers: e.Opts.Workers,
@@ -505,7 +598,7 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 				if t.Phase > 0 {
 					fl = f.FieldFor(p, chargeAt(int(t.Step), int(t.Phase)-1), fieldPosAt(int(t.Step)))
 				}
-				taskCh[w] <- liveTask{task: t, ex: ex, field: fl, charge: true, attempt: m.Attempt}
+				send(w, liveTask{task: t, ex: ex, field: fl, charge: true, attempt: m.Attempt})
 				return
 			}
 			ex := f.ExtractAt(e.polymers[t.Poly], positionAt(int(t.Step)))
@@ -522,17 +615,18 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 						fieldPosAt(step), stepGrad(step))
 				}
 			}
-			taskCh[w] <- liveTask{task: t, ex: ex, field: fl, attempt: m.Attempt}
+			send(w, liveTask{task: t, ex: ex, field: fl, attempt: m.Attempt})
 		},
 		AwaitFn: func(ctx context.Context) (coord.Completion, error) {
-			var r result
-			select {
-			case r = <-resCh:
-			case <-ctx.Done():
-				// The wedge escape: a worker that will never report (a
-				// hung evaluator, a deadlocked dependency) no longer
-				// blocks the run forever.
-				return coord.Completion{}, fmt.Errorf("sched: run abandoned awaiting results: %w", ctx.Err())
+			r, err := recv(ctx)
+			if err != nil {
+				if ctx.Err() != nil {
+					// The wedge escape: a worker that will never report
+					// (a hung evaluator, a partitioned remote) no longer
+					// blocks the run forever.
+					return coord.Completion{}, fmt.Errorf("sched: run abandoned awaiting results: %w", err)
+				}
+				return coord.Completion{}, err
 			}
 			if r.err != nil {
 				// A failed attempt, not a failed run: the coordinator
@@ -590,9 +684,40 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 		},
 	}
 
+	// Steps finalize strictly in order (a monomer advances past step
+	// t+1 only after advancing past t), so completed StepStats stream
+	// to the observer while later steps are still in flight — live
+	// progress for long trajectories, essential when the evaluations
+	// run on remote workers.
+	var stats []StepStats
+	var e0 float64
+	nextFinal := 0
+	finalize := func() {
+		for ; nextFinal < n && monoAdvanced[nextFinal] == nm; nextFinal++ {
+			t := nextFinal
+			st := StepStats{
+				Step: t, Epot: epotStep[t], Ekin: ekinStep[t],
+				Etot: epotStep[t] + ekinStep[t], NPolymer: npoly,
+				SCFIters: scfIterStep[t], Skipped: skipStep[t],
+			}
+			if t == 0 {
+				e0 = st.Etot
+			}
+			st.Drift = st.Etot - e0
+			if !firstDispatch[t].IsZero() && !lastResult[t].IsZero() {
+				st.Wall = lastResult[t].Sub(firstDispatch[t])
+			}
+			stats = append(stats, st)
+			if obs != nil {
+				obs(st)
+			}
+		}
+	}
+
 	// integrate advances monomer m through step t the moment its last
-	// polymer result lands (the policy's per-monomer release).
-	integrate := func(mi, step int32) {
+	// polymer result lands (the policy's per-monomer release); the
+	// wrapper below streams every step the advance finalized.
+	integrateMono := func(mi, step int32) {
 		m, t := int(mi), int(step)
 		monoAdvanced[t]++
 		if monoAdvanced[t] == nm {
@@ -643,6 +768,10 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 		// completed (that is why it advanced), so prune the history.
 		delete(ms.pos, t)
 	}
+	integrate := func(mi, step int32) {
+		integrateMono(mi, step)
+		finalize()
+	}
 
 	ctx := context.Background()
 	if e.Opts.Timeout > 0 {
@@ -655,23 +784,8 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 	if err != nil {
 		return nil, err
 	}
-
-	e0 := epotStep[0] + ekinStep[0]
-	var stats []StepStats
-	for t := 0; t < n; t++ {
-		st := StepStats{
-			Step: t, Epot: epotStep[t], Ekin: ekinStep[t],
-			Etot: epotStep[t] + ekinStep[t], NPolymer: npoly,
-			SCFIters: scfIterStep[t], Skipped: skipStep[t],
-		}
-		st.Drift = st.Etot - e0
-		if !firstDispatch[t].IsZero() && !lastResult[t].IsZero() {
-			st.Wall = lastResult[t].Sub(firstDispatch[t])
-		}
-		stats = append(stats, st)
-		if obs != nil {
-			obs(st)
-		}
+	if nextFinal != n {
+		return nil, fmt.Errorf("sched: run completed with only %d of %d steps finalized", nextFinal, n)
 	}
 	return stats, nil
 }
