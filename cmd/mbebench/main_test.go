@@ -85,7 +85,7 @@ func TestRunGemmBenchFlow(t *testing.T) {
 	if code := run([]string{"-bench-json", jsonPath, "gemm"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit code %d, stderr: %s", code, errOut.String())
 	}
-	if !strings.Contains(out.String(), "PK/best") {
+	if !strings.Contains(out.String(), "asm/go") {
 		t.Error("gemm table missing from output")
 	}
 	data, err := os.ReadFile(jsonPath)

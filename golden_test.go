@@ -13,7 +13,11 @@ import (
 	"github.com/fragmd/fragmd"
 	"github.com/fragmd/fragmd/internal/autotune"
 	"github.com/fragmd/fragmd/internal/chem"
+	"github.com/fragmd/fragmd/internal/linalg"
 	"github.com/fragmd/fragmd/internal/md"
+	"github.com/fragmd/fragmd/internal/mp2"
+	"github.com/fragmd/fragmd/internal/potential"
+	"github.com/fragmd/fragmd/internal/scf"
 	"github.com/fragmd/fragmd/internal/sched"
 )
 
@@ -68,12 +72,20 @@ type goldenUrea struct {
 }
 
 // withDeterministicKernels pins the GEMM engine for the duration of a
-// golden run.
+// golden run: auto-tuner off (timing-based variant arbitration) and
+// the assembly microkernel off — its FMA contraction changes f64
+// rounding relative to the portable kernel the goldens were recorded
+// with. The asm path is covered separately by the tolerance test
+// below.
 func withDeterministicKernels(t *testing.T, fn func()) {
 	t.Helper()
 	was := autotune.Default.Enabled
 	autotune.Default.Enabled = false
-	defer func() { autotune.Default.Enabled = was }()
+	wasAsm := linalg.SetAsmEnabled(false)
+	defer func() {
+		autotune.Default.Enabled = was
+		linalg.SetAsmEnabled(wasAsm)
+	}()
 	fn()
 }
 
@@ -259,4 +271,85 @@ func TestGoldenUreaCrystalEnergies(t *testing.T) {
 		}
 		compareGolden(t, "golden_urea_crystal.json", g)
 	})
+}
+
+// goldenMBEEnergy reads the committed quickstart golden and returns
+// its MBE energy as a float64.
+func goldenMBEEnergy(t *testing.T) float64 {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join("testdata", "golden_quickstart.json"))
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	var g goldenQuickstart
+	if err := json.Unmarshal(blob, &g); err != nil {
+		t.Fatal(err)
+	}
+	e, err := strconv.ParseFloat(string(g.MBEEnergy), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// quickstartMBE recomputes the quickstart MBE energy with the current
+// kernel configuration (tuner off so only the kernel choice varies).
+func quickstartMBE(t *testing.T, prec linalg.Precision) float64 {
+	t.Helper()
+	was := autotune.Default.Enabled
+	autotune.Default.Enabled = false
+	defer func() { autotune.Default.Enabled = was }()
+	sys := fragmd.WaterCluster(3)
+	frag, err := fragmd.FragmentByMolecule(sys, 3, 1, fragmd.FragmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := &potential.RIMP2{
+		Basis:   "sto-3g",
+		SCFOpts: scf.Options{Precision: prec},
+		MP2Opts: mp2.Options{Precision: prec},
+	}
+	res, err := frag.Compute(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Energy
+}
+
+// The assembly microkernel is FMA-contracted, so it cannot match the
+// portable goldens bit-for-bit — but the converged MBE energy must
+// agree to well below chemical meaning. Pins that enabling asm
+// perturbs physics only at the rounding level.
+func TestGoldenQuickstartAsmTolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RI-MP2 MBE is slow; run without -short")
+	}
+	if !linalg.AsmAvailable() {
+		t.Skip("no assembly microkernel on this machine")
+	}
+	prev := linalg.SetAsmEnabled(true)
+	defer linalg.SetAsmEnabled(prev)
+	want := goldenMBEEnergy(t)
+	got := quickstartMBE(t, linalg.F64)
+	if d := got - want; d > 1e-7 || d < -1e-7 {
+		t.Fatalf("asm-kernel MBE energy %.12f vs golden %.12f (|Δ|=%.3g > 1e-7 Ha)", got, want, d)
+	}
+}
+
+// The mixed-precision packed path stores operands in float32
+// (≤2⁻²⁴ per-operand perturbation, f64 accumulation); the converged
+// MBE energy must stay within the documented ~1e-7 relative envelope
+// of the exact golden (~2e-5 Ha on this ~225 Ha system; measured
+// error is ~7e-8 Ha — the B-build staying exact is what keeps the
+// metric's condition number out of the error budget).
+func TestGoldenQuickstartF32Tolerance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RI-MP2 MBE is slow; run without -short")
+	}
+	want := goldenMBEEnergy(t)
+	got := quickstartMBE(t, linalg.F32)
+	tol := 1e-7 * (-want)
+	if d := got - want; d > tol || d < -tol {
+		t.Fatalf("f32-path MBE energy %.12f vs golden %.12f (|Δ|=%.3g > %.3g Ha)", got, want, d, tol)
+	}
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/fragmd/fragmd/internal/linalg"
 )
 
 func syntheticReport(gflops float64) *GemmBenchReport {
@@ -103,6 +105,40 @@ func TestCompareGemmReportsRatioGate(t *testing.T) {
 	}
 }
 
+// The packed-asm/packed ratio row is the acceptance bar for the
+// assembly microkernel: a baseline recording a 4.5× asm speedup must
+// reject a current run where the asm kernel collapsed to parity with
+// the portable one, even when absolute GFLOP/s floors are cleared.
+func asmSyntheticReport(goGF, asmGF float64) *GemmBenchReport {
+	return &GemmBenchReport{
+		Schema: GemmBenchSchema,
+		GoOS:   "linux", GoArch: "amd64", NumCPU: 1, Quick: true,
+		CPUFeatures: "avx fma avx2", MicroKernel: "avx2-6x8",
+		Rows: []GemmBenchRow{
+			{Name: "square-256", M: 256, K: 256, N: 256, Kernel: "packed", Seconds: 1, GFLOPS: goGF, Tracked: true},
+			{Name: "square-256", M: 256, K: 256, N: 256, Kernel: "packed-asm", Seconds: 1, GFLOPS: asmGF, Tracked: true},
+			{Name: "square-256", M: 256, K: 256, N: 256, Kernel: "packed-f32", Seconds: 1, GFLOPS: asmGF * 0.9, Tracked: true},
+		},
+	}
+}
+
+func TestCompareGemmReportsAsmRatioGate(t *testing.T) {
+	base := asmSyntheticReport(6.5, 29.25) // asm/go = 4.5×
+
+	// Faster machine, same architecture of speedup: fine.
+	if bad := CompareGemmReports(base, asmSyntheticReport(13, 58.5), 25); len(bad) != 0 {
+		t.Fatalf("healthy fast machine flagged: %v", bad)
+	}
+	// Much faster machine but the asm kernel regressed to parity with
+	// the portable one: absolute floors all pass, only the
+	// packed-asm/packed ratio gate can fire (the f32/asm ratio then
+	// improves, so exactly one violation).
+	bad := CompareGemmReports(base, asmSyntheticReport(40, 44), 25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "packed-asm/packed ratio regressed") {
+		t.Fatalf("want 1 asm ratio violation, got %v", bad)
+	}
+}
+
 // The real suite: structure, JSON emission and self-consistency. Slow
 // (runs actual GEMMs), so skipped under -short.
 func TestRunGemmSuite(t *testing.T) {
@@ -120,10 +156,19 @@ func TestRunGemmSuite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 4 shapes × 5 engines + the end-to-end RI-MP2 pair (blocked,
-	// pairloop) in quick mode.
-	if len(rep.Rows) != 22 {
-		t.Fatalf("want 22 rows, got %d", len(rep.Rows))
+	// 4 shapes × (4 streaming + packed + packed-f32, plus packed-asm
+	// when a native microkernel ran) + the end-to-end RI-MP2 pair
+	// (blocked, pairloop) in quick mode.
+	engines := 6
+	wantKernels := []string{"stream-NN", "stream-NT", "stream-TN", "stream-TT", "packed", "packed-f32", "blocked", "pairloop"}
+	trackedPerShape := 3 // stream-NN, packed, packed-f32
+	if linalg.AsmEnabled() {
+		engines++
+		wantKernels = append(wantKernels, "packed-asm")
+		trackedPerShape++
+	}
+	if want := 4*engines + 2; len(rep.Rows) != want {
+		t.Fatalf("want %d rows, got %d", want, len(rep.Rows))
 	}
 	kernels := map[string]bool{}
 	tracked := 0
@@ -136,18 +181,25 @@ func TestRunGemmSuite(t *testing.T) {
 			tracked++
 		}
 	}
-	for _, k := range []string{"stream-NN", "stream-NT", "stream-TN", "stream-TT", "packed", "blocked", "pairloop"} {
+	for _, k := range wantKernels {
 		if !kernels[k] {
 			t.Fatalf("kernel %s missing from report", k)
 		}
 	}
-	// Tracked: packed + stream-NN for each of the two acceptance GEMM
-	// shapes, plus the blocked engine of the end-to-end RI-MP2 row.
-	if tracked != 5 {
-		t.Fatalf("want 5 tracked rows, got %d", tracked)
+	// Tracked: stream-NN + every packed engine for each of the two
+	// acceptance GEMM shapes, plus the blocked engine of the
+	// end-to-end RI-MP2 row.
+	if want := 2*trackedPerShape + 1; tracked != want {
+		t.Fatalf("want %d tracked rows, got %d", want, tracked)
 	}
-	if !strings.Contains(out.String(), "PK/best") {
+	if rep.MicroKernel == "" {
+		t.Fatal("report missing microkernel provenance")
+	}
+	if !strings.Contains(out.String(), "asm/go") {
 		t.Fatal("human-readable table missing")
+	}
+	if !strings.Contains(out.String(), "gemm microkernel: ") {
+		t.Fatal("microkernel provenance line missing from output")
 	}
 	// A fresh run must pass the gate against its own report (generous
 	// tolerance: back-to-back runs on a loaded box can wobble ±20 %).

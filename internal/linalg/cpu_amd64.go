@@ -1,0 +1,61 @@
+package linalg
+
+// Stdlib-only CPU feature detection: raw CPUID/XGETBV in assembly
+// (cpu_amd64.s), no golang.org/x/sys dependency. Runs once at package
+// init and installs the AVX2 kernel when the hardware and the OS both
+// support it.
+
+// cpuid executes the CPUID instruction for the given leaf/subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register XCR0 (requires OSXSAVE).
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	fma := c1&(1<<12) != 0
+	osxsave := c1&(1<<27) != 0
+	avx := c1&(1<<28) != 0
+
+	var avx2, avx512f bool
+	if maxLeaf >= 7 {
+		_, b7, _, _ := cpuid(7, 0)
+		avx2 = b7&(1<<5) != 0
+		avx512f = b7&(1<<16) != 0
+	}
+
+	// AVX state must be OS-enabled: XCR0 bits 1 (SSE) and 2 (AVX) both
+	// set, else ymm registers fault or lose state across context
+	// switches regardless of what CPUID advertises.
+	osAVX := false
+	if osxsave {
+		lo, _ := xgetbv()
+		osAVX = lo&0x6 == 0x6
+	}
+
+	var feats []string
+	if avx && osAVX {
+		feats = append(feats, "avx")
+	}
+	if fma {
+		feats = append(feats, "fma")
+	}
+	if avx2 && osAVX {
+		feats = append(feats, "avx2")
+	}
+	if avx512f && osAVX {
+		// Reported for diagnostics only; the 6×8 AVX2 kernel already
+		// saturates the FMA ports on most parts and avoids zmm
+		// frequency licensing, so no AVX-512 tier is installed.
+		feats = append(feats, "avx512f")
+	}
+	cpuFeatures = joinFeatures(feats)
+
+	if avx && avx2 && fma && osAVX {
+		asmKernel = &avx2Kernel
+	}
+}

@@ -1,0 +1,9 @@
+package linalg
+
+// On arm64 Advanced SIMD (NEON) is architectural baseline — every
+// AArch64 core has 128-bit vector FMA — so no runtime probing is
+// needed: the NEON kernel is installed unconditionally.
+func init() {
+	cpuFeatures = joinFeatures([]string{"neon"})
+	asmKernel = &neonKernel
+}

@@ -74,8 +74,8 @@ func TestGemmPackedBetaZeroOverwritesNaN(t *testing.T) {
 
 // Property: the packed engine agrees with the naive reference kernel to
 // ≤ 1e-12 max-abs across random shapes, orientations and scalars. Shapes
-// cross the micro-tile (mr/nr), macro-tile (mcBlock/ncBlock via the 300
-// cap) and kc-panel (k > kcBlock) boundaries.
+// cross the micro-tile (mr/nr) and kc-panel (k > kc) boundaries of every
+// installed kernel.
 func TestGemmPackedMatchesReferenceProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
@@ -120,8 +120,10 @@ func TestGemmPackedParallelMatchesSerial(t *testing.T) {
 
 	rng := rand.New(rand.NewSource(12))
 	// Big enough to cross parallelThreshold with several macro-tiles,
-	// with ragged edges in every dimension.
-	m, k, n := 2*mcBlock+5, kcBlock+17, 2*ncBlock+3
+	// with ragged edges in every dimension (relative to the active
+	// kernel's blocking, whichever kernel that is).
+	impl := activeKernel()
+	m, k, n := 2*impl.mc+5, impl.kc+17, 2*impl.nc+3
 	a := randMat(rng, m, k)
 	b := randMat(rng, k, n)
 	got := NewMat(m, n)

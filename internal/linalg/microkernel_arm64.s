@@ -1,0 +1,137 @@
+#include "textflag.h"
+
+// NEON 8×4 f64 micro-kernel. See DESIGN.md §11 for the ABI contract.
+//
+// Computes C[0:8, 0:4] += alpha · Ap·Bp on a row-major C with stride
+// ldc, from packed micro-panels:
+//
+//	pa[l*8 + r] = A(r, l)   (k-major, one 8-row micro-panel)
+//	pb[l*4 + s] = B(l, s)   (k-major, one 4-column micro-panel)
+//
+// The full 8×4 tile is always computed and written — edge masking is
+// the Go wrapper's job. kc ≥ 1 required.
+//
+// Register allocation:
+//
+//	V0..V15   8×4 accumulator block, row r in V(2r) | V(2r+1)
+//	V16, V17  one k-step of B (4 doubles)
+//	V20..V23  one k-step of A (8 doubles)
+//	V28       broadcast of one A element (VDUP temp)
+//	V29       alpha broadcast at write-back
+//	V24, V25  C row staging at write-back
+//
+// The Go assembler has no by-element FMLA (VFMLA Vn.D[i]) and no
+// vector VFMUL/VFADD, so A elements are VDUP-broadcast into V28
+// (8 VDUPs + 16 FMLAs per k-step = 64 flops) and the write-back is a
+// third FMLA pass: C_row += alphaVec · acc.
+
+// func kernel8x4F64(kc int64, pa, pb *float64, alpha float64, c *float64, ldc int64)
+TEXT ·kernel8x4F64(SB), NOSPLIT, $0-48
+	MOVD kc+0(FP), R0
+	MOVD pa+8(FP), R1
+	MOVD pb+16(FP), R2
+	MOVD c+32(FP), R3
+	MOVD ldc+40(FP), R4
+
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+	VEOR V4.B16, V4.B16, V4.B16
+	VEOR V5.B16, V5.B16, V5.B16
+	VEOR V6.B16, V6.B16, V6.B16
+	VEOR V7.B16, V7.B16, V7.B16
+	VEOR V8.B16, V8.B16, V8.B16
+	VEOR V9.B16, V9.B16, V9.B16
+	VEOR V10.B16, V10.B16, V10.B16
+	VEOR V11.B16, V11.B16, V11.B16
+	VEOR V12.B16, V12.B16, V12.B16
+	VEOR V13.B16, V13.B16, V13.B16
+	VEOR V14.B16, V14.B16, V14.B16
+	VEOR V15.B16, V15.B16, V15.B16
+
+loop:
+	VLD1.P 32(R2), [V16.D2, V17.D2]
+	VLD1.P 64(R1), [V20.D2, V21.D2, V22.D2, V23.D2]
+
+	VDUP  V20.D[0], V28.D2
+	VFMLA V16.D2, V28.D2, V0.D2
+	VFMLA V17.D2, V28.D2, V1.D2
+	VDUP  V20.D[1], V28.D2
+	VFMLA V16.D2, V28.D2, V2.D2
+	VFMLA V17.D2, V28.D2, V3.D2
+	VDUP  V21.D[0], V28.D2
+	VFMLA V16.D2, V28.D2, V4.D2
+	VFMLA V17.D2, V28.D2, V5.D2
+	VDUP  V21.D[1], V28.D2
+	VFMLA V16.D2, V28.D2, V6.D2
+	VFMLA V17.D2, V28.D2, V7.D2
+	VDUP  V22.D[0], V28.D2
+	VFMLA V16.D2, V28.D2, V8.D2
+	VFMLA V17.D2, V28.D2, V9.D2
+	VDUP  V22.D[1], V28.D2
+	VFMLA V16.D2, V28.D2, V10.D2
+	VFMLA V17.D2, V28.D2, V11.D2
+	VDUP  V23.D[0], V28.D2
+	VFMLA V16.D2, V28.D2, V12.D2
+	VFMLA V17.D2, V28.D2, V13.D2
+	VDUP  V23.D[1], V28.D2
+	VFMLA V16.D2, V28.D2, V14.D2
+	VFMLA V17.D2, V28.D2, V15.D2
+
+	SUBS $1, R0, R0
+	BNE  loop
+
+	// C[r, 0:4] += alpha · acc[r], rows advanced by ldc doubles.
+	FMOVD alpha+24(FP), F28
+	VDUP  V28.D[0], V29.D2
+	LSL   $3, R4, R4
+
+	VLD1  (R3), [V24.D2, V25.D2]
+	VFMLA V0.D2, V29.D2, V24.D2
+	VFMLA V1.D2, V29.D2, V25.D2
+	VST1  [V24.D2, V25.D2], (R3)
+	ADD   R4, R3, R3
+
+	VLD1  (R3), [V24.D2, V25.D2]
+	VFMLA V2.D2, V29.D2, V24.D2
+	VFMLA V3.D2, V29.D2, V25.D2
+	VST1  [V24.D2, V25.D2], (R3)
+	ADD   R4, R3, R3
+
+	VLD1  (R3), [V24.D2, V25.D2]
+	VFMLA V4.D2, V29.D2, V24.D2
+	VFMLA V5.D2, V29.D2, V25.D2
+	VST1  [V24.D2, V25.D2], (R3)
+	ADD   R4, R3, R3
+
+	VLD1  (R3), [V24.D2, V25.D2]
+	VFMLA V6.D2, V29.D2, V24.D2
+	VFMLA V7.D2, V29.D2, V25.D2
+	VST1  [V24.D2, V25.D2], (R3)
+	ADD   R4, R3, R3
+
+	VLD1  (R3), [V24.D2, V25.D2]
+	VFMLA V8.D2, V29.D2, V24.D2
+	VFMLA V9.D2, V29.D2, V25.D2
+	VST1  [V24.D2, V25.D2], (R3)
+	ADD   R4, R3, R3
+
+	VLD1  (R3), [V24.D2, V25.D2]
+	VFMLA V10.D2, V29.D2, V24.D2
+	VFMLA V11.D2, V29.D2, V25.D2
+	VST1  [V24.D2, V25.D2], (R3)
+	ADD   R4, R3, R3
+
+	VLD1  (R3), [V24.D2, V25.D2]
+	VFMLA V12.D2, V29.D2, V24.D2
+	VFMLA V13.D2, V29.D2, V25.D2
+	VST1  [V24.D2, V25.D2], (R3)
+	ADD   R4, R3, R3
+
+	VLD1  (R3), [V24.D2, V25.D2]
+	VFMLA V14.D2, V29.D2, V24.D2
+	VFMLA V15.D2, V29.D2, V25.D2
+	VST1  [V24.D2, V25.D2], (R3)
+
+	RET

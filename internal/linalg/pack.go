@@ -2,44 +2,50 @@ package linalg
 
 import "sync"
 
-// Cache-blocking parameters for the packed GEMM path (gemm_packed.go).
-// The loop structure follows the classic Goto/BLIS decomposition: C is
-// tiled into mcBlock×ncBlock macro-tiles, the inner dimension is split
-// into kcBlock panels sized so one packed A panel (mcBlock×kcBlock) and
-// one packed B panel (kcBlock×ncBlock) stay resident in cache while the
-// register micro-kernel sweeps them.
-const (
-	mr = 4 // micro-kernel rows  (register block height)
-	nr = 2 // micro-kernel cols  (register block width)
+// The packed GEMM path (gemm_packed.go) follows the classic Goto/BLIS
+// decomposition: C is tiled into mc×nc macro-tiles, the inner dimension
+// is split into kc panels sized so one packed A panel (mc×kc) and one
+// packed B panel (kc×nc) stay resident in cache while the register
+// micro-kernel sweeps them. The blocking parameters and the register
+// shape (mr×nr) live on the kernelImpl (kernel.go): the portable kernel
+// packs 4×2 micro-panels, the AVX2 kernel 6×8, the NEON kernel 8×4 —
+// the pack routines below take the shape as arguments so one packing
+// implementation serves every kernel, in both storage precisions.
 
-	mcBlock = 128 // rows of op(A) packed per macro-tile   (multiple of mr)
-	kcBlock = 256 // inner-dimension panel height
-	ncBlock = 256 // cols of op(B) packed per macro-tile   (multiple of nr)
-)
+// packElem is the panel storage element: float64 for the exact path,
+// float32 for the mixed-precision path (f32 storage, f64 accumulation).
+type packElem interface {
+	float32 | float64
+}
 
-// packBuf holds one worker's packing scratch: an A panel of up to
-// mcBlock×kcBlock and a B panel of up to kcBlock×ncBlock, both padded to
-// full micro-panels.
+// packBuf holds one worker's packing scratch, grown on demand to the
+// active kernel's macro-tile sizes in whichever precision the call
+// needs.
 type packBuf struct {
-	a []float64
-	b []float64
+	a64, b64 []float64
+	a32, b32 []float32
 }
 
-var packPool = sync.Pool{
-	New: func() interface{} {
-		return &packBuf{
-			a: make([]float64, mcBlock*kcBlock),
-			b: make([]float64, kcBlock*ncBlock),
-		}
-	},
+var packPool = sync.Pool{New: func() interface{} { return new(packBuf) }}
+
+// growTo returns s with length ≥ n, reallocating only when capacity is
+// insufficient (pool buffers are reused across kernels with different
+// blocking, so the first call per size class allocates).
+func growTo[T packElem](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
-// packA packs op(A)[i0:i0+mc, l0:l0+kc] into dst as ceil(mc/mr) row
-// micro-panels. Panel ip occupies dst[ip*kc*mr : (ip+1)*kc*mr] with
+// packAPanels packs op(A)[i0:i0+mc, l0:l0+kc] into dst as ceil(mc/mr)
+// row micro-panels. Panel ip occupies dst[ip*kc*mr : (ip+1)*kc*mr] with
 // layout dst[l*mr+r] = op(A)(i0+ip*mr+r, l0+l); rows beyond mc are
 // zero-padded so the micro-kernel never needs a row mask. The transpose
-// is folded into the pack: after packing, the kernel is orientation-free.
-func packA(dst []float64, a *Mat, tA Transpose, i0, mc, l0, kc int) {
+// is folded into the pack: after packing, the kernel is
+// orientation-free. For float32 dst the rounding to storage precision
+// happens here, once per element, not per use.
+func packAPanels[T packElem](dst []T, a *Mat, tA Transpose, i0, mc, l0, kc, mr int) {
 	panels := (mc + mr - 1) / mr
 	if tA {
 		// op(A)(i,l) = A[l,i]: each k-step reads mr contiguous elements
@@ -55,7 +61,7 @@ func packA(dst []float64, a *Mat, tA Transpose, i0, mc, l0, kc int) {
 				src := a.Row(l0 + l)
 				d := dst[base+l*mr : base+l*mr+mr]
 				for r := 0; r < rows; r++ {
-					d[r] = src[i+r]
+					d[r] = T(src[i+r])
 				}
 				for r := rows; r < mr; r++ {
 					d[r] = 0
@@ -64,7 +70,11 @@ func packA(dst []float64, a *Mat, tA Transpose, i0, mc, l0, kc int) {
 		}
 		return
 	}
-	// op(A)(i,l) = A[i,l]: interleave mr source rows.
+	// op(A)(i,l) = A[i,l]: interleave mr source rows. Each source row is
+	// a sequential read stream; the strided writes stay inside the
+	// L1-resident panel. Packing is a visible cost on tall-skinny shapes
+	// (O(mk) against O(mnk) with small n), so rows are swept one at a
+	// time with the bounds hoisted instead of per-element 2D indexing.
 	for ip := 0; ip < panels; ip++ {
 		base := ip * kc * mr
 		i := i0 + ip*mr
@@ -72,44 +82,28 @@ func packA(dst []float64, a *Mat, tA Transpose, i0, mc, l0, kc int) {
 		if rows > mr {
 			rows = mr
 		}
-		if rows >= mr {
-			// Full-height panel: one pass with sequential writes and
-			// four sequential read streams beats mr strided-write
-			// passes — packing is a visible cost on tall-skinny
-			// shapes, where it is O(mk) against O(mnk) with small n.
-			r0 := a.Row(i)[l0 : l0+kc]
-			r1 := a.Row(i + 1)[l0 : l0+kc]
-			r2 := a.Row(i + 2)[l0 : l0+kc]
-			r3 := a.Row(i + 3)[l0 : l0+kc]
-			d := dst[base : base+kc*mr]
-			for l, v := range r0 {
-				o := l * mr
-				d[o] = v
-				d[o+1] = r1[l]
-				d[o+2] = r2[l]
-				d[o+3] = r3[l]
-			}
-			continue
-		}
 		for r := 0; r < rows; r++ {
 			src := a.Row(i + r)[l0 : l0+kc]
+			d := dst[base+r : base+(kc-1)*mr+r+1]
 			for l, v := range src {
-				dst[base+l*mr+r] = v
+				d[l*mr] = T(v)
 			}
 		}
 		for r := rows; r < mr; r++ {
+			d := dst[base+r : base+(kc-1)*mr+r+1]
 			for l := 0; l < kc; l++ {
-				dst[base+l*mr+r] = 0
+				d[l*mr] = 0
 			}
 		}
 	}
 }
 
-// packB packs op(B)[l0:l0+kc, j0:j0+nc] into dst as ceil(nc/nr) column
-// micro-panels. Panel jp occupies dst[jp*kc*nr : (jp+1)*kc*nr] with
-// layout dst[l*nr+s] = op(B)(l0+l, j0+jp*nr+s); columns beyond nc are
-// zero-padded. As with packA, the transpose is folded into the pack.
-func packB(dst []float64, b *Mat, tB Transpose, l0, kc, j0, nc int) {
+// packBPanels packs op(B)[l0:l0+kc, j0:j0+nc] into dst as ceil(nc/nr)
+// column micro-panels. Panel jp occupies dst[jp*kc*nr : (jp+1)*kc*nr]
+// with layout dst[l*nr+s] = op(B)(l0+l, j0+jp*nr+s); columns beyond nc
+// are zero-padded. As with packAPanels, the transpose is folded into
+// the pack.
+func packBPanels[T packElem](dst []T, b *Mat, tB Transpose, l0, kc, j0, nc, nr int) {
 	panels := (nc + nr - 1) / nr
 	if !tB {
 		// op(B)(l,j) = B[l,j]: each k-step reads nr contiguous elements.
@@ -118,11 +112,13 @@ func packB(dst []float64, b *Mat, tB Transpose, l0, kc, j0, nc int) {
 			j := j0 + jp*nr
 			cols := nc - jp*nr
 			if cols >= nr {
-				// Full-width panel: unrolled pair copy.
+				// Full-width panel: contiguous nr-element copies.
 				for l := 0; l < kc; l++ {
-					src := b.Row(l0 + l)
-					dst[base+l*nr] = src[j]
-					dst[base+l*nr+1] = src[j+1]
+					src := b.Row(l0 + l)[j : j+nr]
+					d := dst[base+l*nr : base+l*nr+nr]
+					for s, v := range src {
+						d[s] = T(v)
+					}
 				}
 				continue
 			}
@@ -130,7 +126,7 @@ func packB(dst []float64, b *Mat, tB Transpose, l0, kc, j0, nc int) {
 				src := b.Row(l0 + l)
 				d := dst[base+l*nr : base+l*nr+nr]
 				for s := 0; s < cols; s++ {
-					d[s] = src[j+s]
+					d[s] = T(src[j+s])
 				}
 				for s := cols; s < nr; s++ {
 					d[s] = 0
@@ -139,7 +135,8 @@ func packB(dst []float64, b *Mat, tB Transpose, l0, kc, j0, nc int) {
 		}
 		return
 	}
-	// op(B)(l,j) = B[j,l]: interleave nr source rows.
+	// op(B)(l,j) = B[j,l]: interleave nr source rows, one sequential
+	// read stream per column of the panel.
 	for jp := 0; jp < panels; jp++ {
 		base := jp * kc * nr
 		j := j0 + jp*nr
@@ -147,27 +144,17 @@ func packB(dst []float64, b *Mat, tB Transpose, l0, kc, j0, nc int) {
 		if cols > nr {
 			cols = nr
 		}
-		if cols >= nr {
-			// Full-width panel: one pass, two sequential read streams.
-			r0 := b.Row(j)[l0 : l0+kc]
-			r1 := b.Row(j + 1)[l0 : l0+kc]
-			d := dst[base : base+kc*nr]
-			for l, v := range r0 {
-				o := l * nr
-				d[o] = v
-				d[o+1] = r1[l]
-			}
-			continue
-		}
 		for s := 0; s < cols; s++ {
 			src := b.Row(j + s)[l0 : l0+kc]
+			d := dst[base+s : base+(kc-1)*nr+s+1]
 			for l, v := range src {
-				dst[base+l*nr+s] = v
+				d[l*nr] = T(v)
 			}
 		}
 		for s := cols; s < nr; s++ {
+			d := dst[base+s : base+(kc-1)*nr+s+1]
 			for l := 0; l < kc; l++ {
-				dst[base+l*nr+s] = 0
+				d[l*nr] = 0
 			}
 		}
 	}
