@@ -104,6 +104,7 @@ func TestCLIDocMatchesFlags(t *testing.T) {
 		{"fragmd", nil},
 		{"fragmd worker", []string{"worker"}},
 		{"fragmd coordinate", []string{"coordinate"}},
+		{"fragmd serve", []string{"serve"}},
 	} {
 		checkDocSection(t, doc, c.header, captureFlagSet(t, c.argv))
 	}

@@ -98,8 +98,9 @@ func main() {
 
 // run is the testable entry point: it parses argv, writes reports to
 // out and diagnostics to errOut. The first argument may name a
-// subcommand — "worker" or "coordinate", the distributed roles — and
-// everything else is the classic single-process CLI.
+// subcommand — "worker" or "coordinate", the distributed roles, or
+// "serve", the trajectory server — and everything else is the classic
+// single-process CLI.
 func run(argv []string, out, errOut io.Writer) error {
 	if len(argv) > 0 {
 		switch argv[0] {
@@ -107,6 +108,8 @@ func run(argv []string, out, errOut io.Writer) error {
 			return runWorkerCmd(argv[1:], out, errOut)
 		case "coordinate":
 			return runCoordinate(argv[1:], out, errOut)
+		case "serve":
+			return runServe(argv[1:], out, errOut)
 		}
 	}
 	fs := flag.NewFlagSet("fragmd", flag.ContinueOnError)
@@ -247,7 +250,9 @@ func run(argv []string, out, errOut io.Writer) error {
 			}
 		}
 	case "md":
-		if err := runMD(out, g, f, eval, engOpts, *steps, *temp, *ckPath, *ckEvery, *resume, nil); err != nil {
+		drain, stop := armSignals(errOut)
+		defer stop()
+		if err := runMD(out, g, f, eval, engOpts, *steps, *temp, *ckPath, *ckEvery, *resume, nil, drain); err != nil {
 			return err
 		}
 	case "bench":
@@ -277,10 +282,13 @@ func run(argv []string, out, errOut io.Writer) error {
 // reproduces an uninterrupted one; the duplicated boundary step is not
 // re-reported. prep, when non-nil, runs before each chunk's engine is
 // built and may rewrite the options — the distributed coordinator uses
-// it to re-snapshot the worker fleet at every chunk boundary.
+// it to re-snapshot the worker fleet at every chunk boundary. drain,
+// when non-nil, is polled between chunks: a requested drain stops the
+// run at its last checkpoint and returns nil (exit 0), the graceful
+// half of the two-stage signal handler.
 func runMD(out io.Writer, g *molecule.Geometry, f *fragment.Fragmentation, eval fragment.Evaluator,
 	engOpts sched.Options, steps int, temp float64, ckPath string, ckEvery int, resume bool,
-	prep func(*sched.Options) error) error {
+	prep func(*sched.Options) error, drain *drainer) error {
 	// One cache shared across chunks (and checkpoints) when incremental
 	// evaluation is on; a cold run stays cold.
 	cache := engOpts.Cache
@@ -340,6 +348,14 @@ func runMD(out io.Writer, g *molecule.Geometry, f *fragment.Fragmentation, eval 
 
 	fmt.Fprintf(out, "%6s %18s %14s %10s %11s %9s %8s\n", "step", "Etot (Ha)", "Epot (Ha)", "T (K)", "drift (Ha)", "SCF-iter", "skipped")
 	for done < steps {
+		if drain.drained() {
+			if ckPath == "" {
+				fmt.Fprintf(out, "drained at step %d/%d (no -checkpoint: remaining steps are not resumable)\n", done, steps)
+			} else {
+				fmt.Fprintf(out, "drained at step %d/%d; resume with -resume -checkpoint %s\n", done, steps, ckPath)
+			}
+			return nil
+		}
 		// A continuation chunk re-runs the boundary step as its local
 		// step 0 (offset 1); chunk length covers ckEvery new steps.
 		offset := 0

@@ -210,5 +210,7 @@ func runCoordinate(argv []string, out, errOut io.Writer) error {
 		fmt.Fprintf(out, "fleet: %d worker processes, %d slots\n", x.Procs(), x.Workers())
 		return nil
 	}
-	return runMD(out, g, f, nil, engOpts, *steps, *temp, *ckPath, *ckEvery, *resume, prep)
+	drain, stop := armSignals(errOut)
+	defer stop()
+	return runMD(out, g, f, nil, engOpts, *steps, *temp, *ckPath, *ckEvery, *resume, prep, drain)
 }

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/fragmd/fragmd/internal/chem"
+	"github.com/fragmd/fragmd/internal/fragment"
+	"github.com/fragmd/fragmd/internal/molecule"
+	"github.com/fragmd/fragmd/internal/netcoord"
+	"github.com/fragmd/fragmd/internal/sched"
+)
+
+// A nil drainer must never drain: runMD is also called by code paths
+// that do not arm signal handling (bench mode, library use).
+func TestNilDrainerNeverDrains(t *testing.T) {
+	var d *drainer
+	if d.drained() {
+		t.Fatal("nil drainer reports drained")
+	}
+}
+
+// ljSystem builds a small LJ-evaluated water cluster for fast MD runs.
+func ljSystem(t *testing.T) (*molecule.Geometry, *fragment.Fragmentation, fragment.Evaluator) {
+	t.Helper()
+	g := molecule.WaterCluster(3)
+	f, err := fragment.ByMolecule(g, 3, 1, fragment.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := netcoord.EvalSpec{Potential: "lj"}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, f, eval
+}
+
+// A drain requested mid-run must stop runMD at the next checkpoint
+// boundary with a nil error (exit 0), and the checkpoint it leaves
+// behind must resume to a trajectory identical to an uninterrupted
+// one — the whole point of draining over dying.
+func TestRunMDDrainStopsAtCheckpointAndResumes(t *testing.T) {
+	opts := sched.Options{Workers: 1, Async: true, Dt: 0.5 * chem.AtomicTimePerFs}
+	const steps, ckEvery = 6, 2
+
+	// Uninterrupted reference. MD evolves the geometry in place, so
+	// every run gets its own freshly built system.
+	g, f, eval := ljSystem(t)
+	var ref bytes.Buffer
+	if err := runMD(&ref, g, f, eval, opts, steps, 150, "", 0, false, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drained run: prep runs before each chunk, so a flag set on the
+	// first call is seen at the top of the loop after chunk one —
+	// exactly the window a real SIGTERM lands in.
+	ckPath := filepath.Join(t.TempDir(), "traj.ck")
+	d := &drainer{}
+	prep := func(*sched.Options) error {
+		d.flag.Store(true)
+		return nil
+	}
+	g, f, eval = ljSystem(t)
+	var out bytes.Buffer
+	if err := runMD(&out, g, f, eval, opts, steps, 150, ckPath, ckEvery, false, prep, d); err != nil {
+		t.Fatalf("drained run failed: %v", err)
+	}
+	if want := "drained at step 2/6; resume with -resume -checkpoint " + ckPath; !strings.Contains(out.String(), want) {
+		t.Fatalf("output missing %q:\n%s", want, out.String())
+	}
+
+	g, f, eval = ljSystem(t)
+	var resumed bytes.Buffer
+	if err := runMD(&resumed, g, f, eval, opts, steps, 150, ckPath, ckEvery, true, nil, nil); err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+
+	// Stitch step lines from both runs and compare Etot per step against
+	// the reference trajectory.
+	refE := parseStepEnergies(t, ref.String())
+	got := parseStepEnergies(t, out.String()+resumed.String())
+	if len(got) != len(refE) {
+		t.Fatalf("drain+resume reported %d steps, reference %d", len(got), len(refE))
+	}
+	for step, e := range refE {
+		if r, ok := got[step]; !ok || math.Abs(r-e) > 1e-10 {
+			t.Fatalf("step %d: drain+resume Etot %.12f, reference %.12f", step, got[step], e)
+		}
+	}
+}
+
+// Draining without -checkpoint still stops promptly but must warn that
+// the remaining steps are gone.
+func TestRunMDDrainWithoutCheckpointWarns(t *testing.T) {
+	g, f, eval := ljSystem(t)
+	opts := sched.Options{Workers: 1, Async: true, Dt: 0.5 * chem.AtomicTimePerFs}
+	d := &drainer{}
+	d.flag.Store(true)
+	var out bytes.Buffer
+	if err := runMD(&out, g, f, eval, opts, 4, 150, "", 0, false, nil, d); err != nil {
+		t.Fatal(err)
+	}
+	if want := "no -checkpoint: remaining steps are not resumable"; !strings.Contains(out.String(), want) {
+		t.Fatalf("output missing %q:\n%s", want, out.String())
+	}
+}
+
+// parseStepEnergies maps step number → Etot from runMD's table output.
+func parseStepEnergies(t *testing.T, out string) map[int]float64 {
+	t.Helper()
+	got := map[int]float64{}
+	for _, l := range strings.Split(out, "\n") {
+		f := strings.Fields(l)
+		if len(f) != 7 {
+			continue
+		}
+		step, err := strconv.Atoi(f[0])
+		if err != nil {
+			continue
+		}
+		etot, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			continue
+		}
+		got[step] = etot
+	}
+	return got
+}
+
+// The two-stage handler itself: the first real signal flips the drain
+// flag, the second routes to the exit seam with the conventional
+// 128+SIGTERM status.
+func TestArmSignalsTwoStage(t *testing.T) {
+	var errOut syncBuffer
+	var code atomic.Int64
+	code.Store(-1)
+	exited := make(chan struct{})
+	d, stop := armSignalsExit(&errOut, func(c int) {
+		code.Store(int64(c))
+		close(exited)
+	})
+	defer stop()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "drain flag", func() bool { return d.drained() })
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-exited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not reach the exit seam")
+	}
+	if got := code.Load(); got != 128+int64(syscall.SIGTERM) {
+		t.Fatalf("exit code %d, want %d", got, 128+int(syscall.SIGTERM))
+	}
+	if !strings.Contains(errOut.String(), "draining") || !strings.Contains(errOut.String(), "exiting immediately") {
+		t.Fatalf("unexpected diagnostics:\n%s", errOut.String())
+	}
+	stop()
+	stop() // stop is idempotent
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -6,8 +6,8 @@
 //	mbebench -list
 //
 // Experiments: table1 fig1 table2 table3 fig3 table4 gemm autotune fig5
-// fig6 async warmstart embed hier resilience netcoord fig7 fig8 table5
-// all
+// fig6 async warmstart embed hier resilience netcoord serve fig7 fig8
+// table5 all
 //
 // By default workloads are shrunk to development-box scale; -full runs
 // the paper-size configurations (the exascale experiments remain
@@ -31,6 +31,14 @@
 // -max-regress (allowed GFLOP/s drop in percent, default 25); a gated
 // regression makes the process exit 1. This is the CI bench job
 // (see DESIGN.md §5).
+//
+// The serve experiment load-tests the multi-tenant trajectory server
+// (DESIGN.md §12) over localhost HTTP and honours the same trio:
+// -bench-json writes BENCH_serve.json (latency percentiles, jobs/sec,
+// fairness, drain-audit counters), -baseline gates p50/p99/jobs-per-
+// second against a committed report, and -max-regress sets the
+// tolerance. Fairness (≤ 2× across tenants) and drain integrity (zero
+// lost or duplicated steps) are absolute gates applied every run.
 package main
 
 import (
@@ -64,6 +72,7 @@ var experiments = []struct {
 	{"hier", bench.Hier, "hierarchical group coordinators vs flat scheduler (§VII)"},
 	{"resilience", bench.Resilience, "failure injection: throughput and lost work vs node MTBF"},
 	{"netcoord", bench.NetCoord, "network backend A/B oracle: live localhost TCP vs simulation"},
+	{"serve", bench.ServeBench, "trajectory-server load test: latency/fairness/drain (BENCH_serve.json)"},
 	{"fig7", bench.Fig7, "strong scaling on Perlmutter/Frontier models"},
 	{"fig8", bench.Fig8, "weak scaling at 4 polymers/GCD"},
 	{"table5", bench.Table5, "record runs: million-electron urea, 2BEG latency"},
@@ -83,9 +92,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	full := fs.Bool("full", false, "run paper-size configurations")
 	list := fs.Bool("list", false, "list experiments")
-	benchJSON := fs.String("bench-json", "", "write the gemm GFLOP/s report to this path")
-	baseline := fs.String("baseline", "", "gate the gemm report against this committed baseline")
-	maxRegress := fs.Float64("max-regress", 25, "allowed GFLOP/s regression vs baseline, percent")
+	benchJSON := fs.String("bench-json", "", "write the gemm/serve machine-readable report to this path")
+	baseline := fs.String("baseline", "", "gate the gemm/serve report against this committed baseline")
+	maxRegress := fs.Float64("max-regress", 25, "allowed regression vs baseline (GFLOP/s, latency, jobs/sec), percent")
 	seed := fs.Int64("seed", 0, "cluster-simulator RNG seed for reproducible fig7/fig8/table5/hier runs (0 = default)")
 	jitter := fs.Float64("jitter", 0, "simulated task-runtime noise, fraction in [0,1) (0 = deterministic model; hier substitutes 0.1)")
 	if testHookFlagSet != nil {

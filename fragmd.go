@@ -58,6 +58,7 @@ import (
 	"github.com/fragmd/fragmd/internal/potential"
 	"github.com/fragmd/fragmd/internal/resilience"
 	"github.com/fragmd/fragmd/internal/sched"
+	"github.com/fragmd/fragmd/internal/serve"
 	"github.com/fragmd/fragmd/internal/warmstart"
 )
 
@@ -313,6 +314,33 @@ func ListenCoordinator(addr string, opts CoordinatorOptions) (*Coordinator, erro
 // WorkerOptions.Redial). It is the library form of "fragmd worker".
 func RunWorkerProcess(ctx context.Context, addr string, opts WorkerOptions) error {
 	return netcoord.RunWorker(ctx, addr, opts)
+}
+
+// Trajectory-server types (fragmd-as-a-service, DESIGN.md §12): a
+// TrajectoryServer runs MD trajectories for many tenants behind an
+// HTTP/JSON API with admission control, tenant-fair scheduling, shared
+// warm-start caches, and durable per-job checkpoints — Drain parks
+// every in-flight job at its next checkpoint and a successor server on
+// the same state directory resumes all of them. It is the library form
+// of "fragmd serve".
+type (
+	// TrajectoryServer owns the job queue, the runners, and the durable
+	// state directory; serve its Handler() over net/http.
+	TrajectoryServer = serve.Server
+	// ServeOptions configures capacity, checkpoint cadence, and the
+	// optional worker fleet behind the server.
+	ServeOptions = serve.Options
+	// ServeJobSpec is a client's trajectory request (the POST /v1/jobs
+	// body).
+	ServeJobSpec = serve.JobSpec
+	// ServeJobView is the API projection of a job's progress.
+	ServeJobView = serve.JobView
+)
+
+// NewTrajectoryServer opens (or re-opens, resuming parked jobs) a
+// trajectory server over the given durable state directory.
+func NewTrajectoryServer(opts ServeOptions) (*TrajectoryServer, error) {
+	return serve.New(opts)
 }
 
 // GEMMFLOPs returns the global GEMM FLOP counter (2·m·n·k per call, the

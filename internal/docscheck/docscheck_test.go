@@ -24,6 +24,7 @@ var targets = []string{
 	"../resilience", // checkpoint/restart API
 	"../netcoord",   // distributed backend (operators)
 	"../sched",      // live engine options and executor seam
+	"../serve",      // trajectory-server API (service operators)
 }
 
 // TestExportedAPIDocumented fails for every exported top-level

@@ -176,7 +176,14 @@ func (c *Coordinator) accept() {
 func (c *Coordinator) register(conn net.Conn) {
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
-	conn.SetReadDeadline(time.Now().Add(c.opts.HeartbeatTimeout))
+	// A connection that cannot even accept a deadline is already dying;
+	// proceeding without one would leave the handshake read unbounded,
+	// wedging this goroutine on a half-open peer forever.
+	if err := conn.SetReadDeadline(time.Now().Add(c.opts.HeartbeatTimeout)); err != nil {
+		c.logf("netcoord: dropped %s: handshake read deadline: %v", conn.RemoteAddr(), err)
+		conn.Close()
+		return
+	}
 	var hf frame
 	if err := dec.Decode(&hf); err != nil || hf.Hello == nil {
 		conn.Close()
@@ -200,13 +207,25 @@ func (c *Coordinator) register(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	conn.SetReadDeadline(time.Time{})
-	conn.SetWriteDeadline(time.Now().Add(c.opts.HeartbeatTimeout))
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		c.logf("netcoord: dropped %s: clear handshake deadline: %v", conn.RemoteAddr(), err)
+		conn.Close()
+		return
+	}
+	if err := conn.SetWriteDeadline(time.Now().Add(c.opts.HeartbeatTimeout)); err != nil {
+		c.logf("netcoord: dropped %s: welcome write deadline: %v", conn.RemoteAddr(), err)
+		conn.Close()
+		return
+	}
 	if err := enc.Encode(&frame{Welcome: &Welcome{Eval: c.opts.Eval, Heartbeat: c.opts.Heartbeat}}); err != nil {
 		conn.Close()
 		return
 	}
-	conn.SetWriteDeadline(time.Time{})
+	if err := conn.SetWriteDeadline(time.Time{}); err != nil {
+		c.logf("netcoord: dropped %s: clear welcome deadline: %v", conn.RemoteAddr(), err)
+		conn.Close()
+		return
+	}
 
 	p := &proc{
 		c:        c,
@@ -237,11 +256,17 @@ func (c *Coordinator) register(conn net.Conn) {
 
 // send encodes one frame on the process's connection under a write
 // deadline, so a wedged peer cannot block the caller past the
-// heartbeat timeout.
+// heartbeat timeout. A failed deadline set is reported like a failed
+// write: without the deadline the encode could block forever on a
+// dying connection, silently defeating the heartbeat eviction path, so
+// the connection must be treated as dead — every caller routes a send
+// error through declareDead.
 func (p *proc) send(f *frame) error {
 	p.encMu.Lock()
 	defer p.encMu.Unlock()
-	p.conn.SetWriteDeadline(time.Now().Add(p.c.opts.HeartbeatTimeout))
+	if err := p.conn.SetWriteDeadline(time.Now().Add(p.c.opts.HeartbeatTimeout)); err != nil {
+		return fmt.Errorf("set write deadline: %w", err)
+	}
 	return p.enc.Encode(f)
 }
 

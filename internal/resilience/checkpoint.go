@@ -238,11 +238,61 @@ type envelope struct {
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Save writes the checkpoint to path atomically: the envelope is
-// marshalled with a Castagnoli CRC over the payload bytes, written to a
-// temporary file in the same directory, synced, and renamed over path —
-// a crash mid-write leaves either the old checkpoint or none, never a
-// torn one.
+// syncDir opens a directory and fsyncs it, making a just-renamed entry
+// durable. It is a replaceable seam so tests can observe that every
+// atomic publish syncs its parent directory.
+var syncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}
+
+// AtomicWriteFile writes data to path crash-durably: a temporary file in
+// the same directory is written, fsynced, and renamed over path, and the
+// parent directory is fsynced after the rename. The temp-file dance
+// alone only guarantees the *file contents* are never torn; on ext4/XFS
+// the renamed directory entry itself lives in the parent directory's
+// metadata, so a crash right after the rename can lose the new name
+// entirely unless the directory is synced too.
+func AtomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("publish %s: %w", path, err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("sync parent of %s: %w", path, err)
+	}
+	return nil
+}
+
+// Save writes the checkpoint to path atomically and durably: the
+// envelope is marshalled with a Castagnoli CRC over the payload bytes,
+// written to a temporary file in the same directory, synced, renamed
+// over path, and the parent directory is fsynced — a crash at any point
+// leaves either the old checkpoint or the new one, never a torn or
+// vanished one.
 func Save(path string, ck *Checkpoint) error {
 	payload, err := json.Marshal(ck)
 	if err != nil {
@@ -257,25 +307,8 @@ func Save(path string, ck *Checkpoint) error {
 	if err != nil {
 		return fmt.Errorf("resilience: encode envelope: %w", err)
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
+	if err := AtomicWriteFile(path, blob); err != nil {
 		return fmt.Errorf("resilience: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
-	if _, err := tmp.Write(blob); err != nil {
-		tmp.Close()
-		return fmt.Errorf("resilience: write checkpoint: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("resilience: sync checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("resilience: close checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("resilience: publish checkpoint: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,98 @@
+package resilience
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// interceptSyncDir replaces the directory-fsync seam for one test,
+// recording every directory synced (while still performing the real
+// sync) and restoring the original on cleanup.
+func interceptSyncDir(t *testing.T) *[]string {
+	t.Helper()
+	var synced []string
+	orig := syncDir
+	syncDir = func(dir string) error {
+		synced = append(synced, dir)
+		return orig(dir)
+	}
+	t.Cleanup(func() { syncDir = orig })
+	return &synced
+}
+
+// Save must fsync the checkpoint's parent directory after the rename:
+// the temp-file + rename dance alone leaves the new directory entry in
+// unsynced parent metadata, so a crash right after publish could lose
+// the checkpoint entirely on ext4/XFS.
+func TestSaveSyncsParentDirectory(t *testing.T) {
+	synced := interceptSyncDir(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "traj.ckpt")
+	if err := Save(path, Snapshot(testState(t), 3, 20.0)); err != nil {
+		t.Fatal(err)
+	}
+	if len(*synced) != 1 {
+		t.Fatalf("Save synced %d directories (%v), want exactly 1", len(*synced), *synced)
+	}
+	if got := (*synced)[0]; got != dir {
+		t.Errorf("Save synced %q, want the checkpoint's parent %q", got, dir)
+	}
+	// The publish happened before the sync was observed complete.
+	if _, err := Load(path); err != nil {
+		t.Errorf("checkpoint unreadable after durable save: %v", err)
+	}
+}
+
+// A failed directory sync is a failed save, not a silent success — the
+// caller must not believe the checkpoint is durable.
+func TestSaveReportsDirSyncFailure(t *testing.T) {
+	orig := syncDir
+	boom := errors.New("injected dir-sync failure")
+	syncDir = func(string) error { return boom }
+	t.Cleanup(func() { syncDir = orig })
+	path := filepath.Join(t.TempDir(), "traj.ckpt")
+	err := Save(path, Snapshot(testState(t), 1, 20.0))
+	if !errors.Is(err, boom) {
+		t.Fatalf("Save returned %v, want the injected dir-sync failure", err)
+	}
+}
+
+// AtomicWriteFile is the shared durable-publish primitive: contents are
+// intact, no temp droppings remain, and the parent is synced once per
+// call.
+func TestAtomicWriteFile(t *testing.T) {
+	synced := interceptSyncDir(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.json")
+	if err := AtomicWriteFile(path, []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtomicWriteFile(path, []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"v":2}` {
+		t.Errorf("contents %q, want the second write", data)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("dir has %d entries, want 1 (no temp files left)", len(entries))
+	}
+	if len(*synced) != 2 {
+		t.Errorf("2 writes synced the directory %d times, want 2", len(*synced))
+	}
+	for _, d := range *synced {
+		if !strings.HasPrefix(path, d) {
+			t.Errorf("synced %q, not a parent of %q", d, path)
+		}
+	}
+}

@@ -344,6 +344,16 @@ func (e *Engine) chargeSafe(ex *fragment.Extracted, fl *fragment.Field) (q []flo
 // during the run, not after it — so drivers can report live progress.
 // The state is mutated to the final step. Returns per-step statistics.
 func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, error) {
+	return e.RunContext(context.Background(), state, n, obs)
+}
+
+// RunContext is Run under a caller-owned context: cancelling ctx aborts
+// the run between monomer advances with ctx's error, leaving state
+// mid-trajectory (callers that need a consistent snapshot should resume
+// from their last checkpoint, not from the abandoned state). Options.
+// Timeout, when set, still applies — as a child of ctx, so whichever
+// deadline lands first wins.
+func (e *Engine) RunContext(ctx context.Context, state *md.State, n int, obs func(StepStats)) ([]StepStats, error) {
 	if n <= 0 {
 		return nil, errors.New("sched: need at least one step")
 	}
@@ -773,7 +783,6 @@ func (e *Engine) Run(state *md.State, n int, obs func(StepStats)) ([]StepStats, 
 		finalize()
 	}
 
-	ctx := context.Background()
 	if e.Opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, e.Opts.Timeout)
