@@ -7,12 +7,20 @@
 //
 //	fragmd -in system.xyz [-mode energy|grad|md|bench] [-basis sto-3g|dzp]
 //	       [-atoms-per-monomer N] [-dimer-cut Å] [-trimer-cut Å] [-ri-screen t] [-f32]
+//	       [-box Lx,Ly,Lz] [-pbc]
 //	       [-embed] [-embed-scc N] [-embed-tol e] [-embed-damp d]
 //	       [-steps N] [-dt fs] [-temp K] [-sync] [-workers N]
 //	       [-groups N] [-batch N] [-steal]
 //	       [-warm] [-skip-tol Å] [-max-skip N]
 //	       [-checkpoint file] [-checkpoint-every N] [-resume]
 //	       [-retries N] [-speculate]
+//
+// Periodic boundaries (DESIGN.md §13): -box attaches an orthorhombic
+// cell ("L" for cubic or "Lx,Ly,Lz", Å) and switches every distance in
+// the fragmentation path to the minimum-image convention; it overrides
+// any cell= comment in the XYZ. -pbc asserts the run is periodic —
+// it errors out unless a cell arrives via -box or the XYZ comment —
+// so scripts cannot silently fall back to open boundaries.
 //
 // Embedding knobs (EE-MBE, DESIGN.md §8): -embed evaluates every MBE
 // term in the point-charge field of the other monomers' Mulliken
@@ -60,6 +68,8 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"strconv"
+	"strings"
 
 	"github.com/fragmd/fragmd/internal/bench"
 	"github.com/fragmd/fragmd/internal/chem"
@@ -120,6 +130,8 @@ func run(argv []string, out, errOut io.Writer) error {
 	apm := fs.Int("atoms-per-monomer", 3, "atoms per monomer for fragmentation")
 	dimerCut := fs.Float64("dimer-cut", 0, "dimer centroid cutoff in Å (0 = none)")
 	trimerCut := fs.Float64("trimer-cut", 0, "trimer centroid cutoff in Å (0 = none)")
+	box := fs.String("box", "", "periodic cell edge lengths in Å, \"L\" (cubic) or \"Lx,Ly,Lz\"; overrides any cell= comment in the XYZ")
+	pbc := fs.Bool("pbc", false, "require periodic boundaries: error unless a cell comes from -box or the XYZ's cell= comment")
 	steps := fs.Int("steps", 10, "MD steps")
 	dt := fs.Float64("dt", 0.5, "MD time step in fs")
 	temp := fs.Float64("temp", 150, "initial temperature in K")
@@ -178,7 +190,27 @@ func run(argv []string, out, errOut io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "system: %d atoms, %d electrons\n", g.N(), g.NumElectrons())
+	if *box != "" {
+		cell, err := parseBoxFlag(*box)
+		if err != nil {
+			fmt.Fprintf(errOut, "fragmd: -box: %v\n", err)
+			fs.Usage()
+			return errUsage
+		}
+		g.Cell = cell
+	}
+	if *pbc && g.Cell == nil {
+		fmt.Fprintln(errOut, "fragmd: -pbc needs a cell: pass -box or use an XYZ with a cell= comment")
+		fs.Usage()
+		return errUsage
+	}
+	if c := g.Cell; c != nil {
+		fmt.Fprintf(out, "system: %d atoms, %d electrons, periodic cell %g x %g x %g Å\n",
+			g.N(), g.NumElectrons(),
+			c.L[0]*chem.AngstromPerBohr, c.L[1]*chem.AngstromPerBohr, c.L[2]*chem.AngstromPerBohr)
+	} else {
+		fmt.Fprintf(out, "system: %d atoms, %d electrons\n", g.N(), g.NumElectrons())
+	}
 
 	opts := fragment.Options{}
 	if *dimerCut > 0 {
@@ -271,6 +303,32 @@ func run(argv []string, out, errOut io.Writer) error {
 	}
 	fmt.Fprintf(out, "GEMM FLOPs executed: %.3e\n", float64(linalg.FLOPs()))
 	return nil
+}
+
+// parseBoxFlag parses the -box value — "L" (cubic) or "Lx,Ly,Lz",
+// edge lengths in Å — into a validated cell in Bohr.
+func parseBoxFlag(s string) (*molecule.Cell, error) {
+	parts := strings.Split(s, ",")
+	var l [3]float64
+	switch len(parts) {
+	case 1:
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad edge length %q", parts[0])
+		}
+		l = [3]float64{v, v, v}
+	case 3:
+		for k, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad edge length %q", p)
+			}
+			l[k] = v
+		}
+	default:
+		return nil, fmt.Errorf(`want "L" or "Lx,Ly,Lz", got %q`, s)
+	}
+	return molecule.NewCellAngstrom(l[0], l[1], l[2])
 }
 
 // runMD integrates an NVE trajectory with optional checkpoint/restart:

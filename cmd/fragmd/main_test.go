@@ -350,3 +350,48 @@ func TestRunResumeRejectsDtMismatch(t *testing.T) {
 		t.Errorf("steps ≤ StepsDone should report completion:\n%s", out.String())
 	}
 }
+
+// Periodic flags: -box attaches a cell (reported in the system line),
+// an XYZ cell= comment satisfies -pbc on its own, -pbc with no cell at
+// all is a usage error, and malformed -box values are usage errors.
+func TestRunBoxAndPBCFlags(t *testing.T) {
+	xyz := writeWaterDimerXYZ(t)
+	var out bytes.Buffer
+	if err := run([]string{"-in", xyz, "-mode", "energy", "-box", "200", "-pbc"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "periodic cell") {
+		t.Errorf("system line missing the cell:\n%s", out.String())
+	}
+
+	var errOut bytes.Buffer
+	if err := run([]string{"-in", xyz, "-pbc"}, io.Discard, &errOut); !errors.Is(err, errUsage) {
+		t.Errorf("-pbc without a cell: got %v, want errUsage", err)
+	}
+	if !strings.Contains(errOut.String(), "-pbc needs a cell") {
+		t.Errorf("-pbc diagnostic not on stderr writer:\n%s", errOut.String())
+	}
+	for _, bad := range []string{"abc", "1,2", "1,2,3,4", "0", "-5,5,5"} {
+		if err := run([]string{"-in", xyz, "-box", bad}, io.Discard, io.Discard); !errors.Is(err, errUsage) {
+			t.Errorf("-box %q: got %v, want errUsage", bad, err)
+		}
+	}
+
+	// A geometry written by a periodic builder round-trips its cell
+	// through the XYZ comment, so -pbc passes with no -box.
+	boxPath := filepath.Join(t.TempDir(), "box.xyz")
+	var b bytes.Buffer
+	if err := molecule.WaterBox(2, 1, 1, 1).WriteXYZ(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(boxPath, b.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"-in", boxPath, "-mode", "energy", "-pbc"}, &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "periodic cell") {
+		t.Errorf("cell= comment not honoured:\n%s", out.String())
+	}
+}

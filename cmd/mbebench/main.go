@@ -6,8 +6,8 @@
 //	mbebench -list
 //
 // Experiments: table1 fig1 table2 table3 fig3 table4 gemm autotune fig5
-// fig6 async warmstart embed hier resilience netcoord serve fig7 fig8
-// table5 all
+// fig6 async warmstart embed hier resilience netcoord neighbor serve
+// fig7 fig8 table5 all
 //
 // By default workloads are shrunk to development-box scale; -full runs
 // the paper-size configurations (the exascale experiments remain
@@ -31,6 +31,15 @@
 // -max-regress (allowed GFLOP/s drop in percent, default 25); a gated
 // regression makes the process exit 1. This is the CI bench job
 // (see DESIGN.md §5).
+//
+// The neighbor experiment sweeps cell-list polymer enumeration and
+// EE-MBE field setup over growing periodic water boxes, fits the
+// log-log scaling exponent, and fails when it exceeds 1.2 — the O(N)
+// acceptance gate for the fragmentation path's neighbor search. It
+// honours the same -bench-json/-baseline/-max-regress trio
+// (conventionally BENCH_neighbor.json); the baseline gate compares the
+// fitted exponent and the same-run cell-vs-brute speedup, both of which
+// survive machine changes.
 //
 // The serve experiment load-tests the multi-tenant trajectory server
 // (DESIGN.md §12) over localhost HTTP and honours the same trio:
@@ -72,6 +81,7 @@ var experiments = []struct {
 	{"hier", bench.Hier, "hierarchical group coordinators vs flat scheduler (§VII)"},
 	{"resilience", bench.Resilience, "failure injection: throughput and lost work vs node MTBF"},
 	{"netcoord", bench.NetCoord, "network backend A/B oracle: live localhost TCP vs simulation"},
+	{"neighbor", bench.NeighborBench, "cell-list O(N) scaling sweep + exponent gate (BENCH_neighbor.json)"},
 	{"serve", bench.ServeBench, "trajectory-server load test: latency/fairness/drain (BENCH_serve.json)"},
 	{"fig7", bench.Fig7, "strong scaling on Perlmutter/Frontier models"},
 	{"fig8", bench.Fig8, "weak scaling at 4 polymers/GCD"},

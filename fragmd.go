@@ -65,13 +65,33 @@ import (
 // Geometry is a molecular geometry (positions in Bohr; XYZ I/O in Å).
 type Geometry = molecule.Geometry
 
-// Geometry builders for the paper's benchmark systems.
+// Cell is an orthorhombic periodic cell (edge lengths in Bohr). Attach
+// one to Geometry.Cell — or build a periodic system with WaterBox,
+// SolvatedSolute or UreaSupercell — and every distance in the
+// fragmentation path, the LJ potential and the neighbour enumeration
+// switches to the minimum-image convention. Atom positions stay
+// unwrapped; see the molecule package for the full conventions.
+type Cell = molecule.Cell
+
+// NewCell (Bohr) and NewCellAngstrom (Å) build a validated periodic
+// cell from three positive edge lengths.
+var (
+	NewCell         = molecule.NewCell
+	NewCellAngstrom = molecule.NewCellAngstrom
+)
+
+// Geometry builders for the paper's benchmark systems. WaterBox,
+// SolvatedSolute and UreaSupercell build periodic/solvated systems
+// with Geometry.Cell attached (see Cell).
 var (
 	Water             = molecule.Water
 	WaterDimer        = molecule.WaterDimer
 	WaterCluster      = molecule.WaterCluster
+	WaterBox          = molecule.WaterBox
+	SolvatedSolute    = molecule.SolvatedSolute
 	Urea              = molecule.Urea
 	UreaCrystalSphere = molecule.UreaCrystalSphere
+	UreaSupercell     = molecule.UreaSupercell
 	Paracetamol       = molecule.Paracetamol
 	ParacetamolSphere = molecule.ParacetamolSphere
 	Polyglycine       = molecule.Polyglycine

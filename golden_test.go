@@ -176,6 +176,67 @@ func TestGoldenQuickstartTrajectory(t *testing.T) {
 	})
 }
 
+type goldenWaterBox struct {
+	System     string       `json:"system"`
+	CellBohr   []fnum       `json:"cell_bohr"`
+	NMonomers  int          `json:"n_monomers"`
+	NDimers    int          `json:"n_dimers"`
+	MBE2Energy fnum         `json:"mbe2_lj_energy_ha"`
+	Trajectory []goldenStep `json:"trajectory"`
+}
+
+// The water_box example's workload: periodic MBE2/LJ on a 3×3×3 water
+// lattice with minimum-image boundaries and a dimer cutoff under half
+// the box edge, plus 10 steps of NVE MD, locked bit-for-bit. This is
+// the regression anchor for the whole PBC path — cell parsing, min-
+// image dimer selection through the cell list, image-shifted fragment
+// extraction, and periodic LJ forces all feed these numbers. (LJ is
+// cheap, so this golden also runs under -short.)
+func TestGoldenWaterBoxTrajectory(t *testing.T) {
+	withDeterministicKernels(t, func() {
+		sys := fragmd.WaterBox(3, 3, 3, 1)
+		frag, err := fragmd.FragmentByMolecule(sys, 3, 1, fragmd.FragmentOptions{
+			MaxOrder:    2,
+			DimerCutoff: 4.0 * chem.BohrPerAngstrom, // < L/2 = 4.66 Å
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eval := fragmd.NewLennardJonesPotential()
+		res, err := frag.Compute(eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		terms := frag.Terms()
+		g := goldenWaterBox{
+			System:     "water box 3x3x3, periodic MBE2/LJ, dimer cut 4 Å",
+			NMonomers:  len(terms.Monomers),
+			NDimers:    len(terms.Dimers),
+			MBE2Energy: num(res.Energy),
+		}
+		for _, l := range sys.Cell.L {
+			g.CellBohr = append(g.CellBohr, num(l))
+		}
+
+		eng, err := sched.New(frag, eval, sched.Options{
+			Workers: 1, Async: true, Dt: 0.5 * chem.AtomicTimePerFs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		state := md.NewState(frag.Geom.Clone())
+		state.SampleVelocities(150, rand.New(rand.NewSource(1)))
+		stats, err := eng.Run(state, 10, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range stats {
+			g.Trajectory = append(g.Trajectory, goldenStep{Etot: num(st.Etot), Epot: num(st.Epot)})
+		}
+		compareGolden(t, "golden_water_box.json", g)
+	})
+}
+
 type goldenEmbedded struct {
 	System       string       `json:"system"`
 	NPolymers    int          `json:"n_polymers"`

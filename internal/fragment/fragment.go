@@ -21,6 +21,7 @@ import (
 
 	"github.com/fragmd/fragmd/internal/chem"
 	"github.com/fragmd/fragmd/internal/molecule"
+	"github.com/fragmd/fragmd/internal/neighbor"
 )
 
 // Monomer is a set of atom indices of the parent system treated as one
@@ -68,6 +69,18 @@ type Options struct {
 	BondScale float64
 	// CapDistance is the H-cap bond length in Bohr (default: 1.09 Å).
 	CapDistance float64
+	// FieldCutoff truncates the EE-MBE embedding field at a centroid
+	// distance in Bohr: only monomers within FieldCutoff of a polymer
+	// member contribute point-charge sites, and the far-pair residual is
+	// restricted to pairs inside the same radius. The zero value means
+	// no truncation (+Inf) — every external monomer contributes, the
+	// exact pre-cutoff behaviour. Negative values are rejected by New.
+	FieldCutoff float64
+	// Brute forces the O(N²)/O(N³) direct-scan neighbor oracle instead
+	// of the cell list for polymer enumeration and field assembly. The
+	// two must agree exactly (equivalence-tested); Brute exists for A/B
+	// checks and as the reference in the scaling bench.
+	Brute bool
 }
 
 func (o *Options) fill() {
@@ -89,6 +102,9 @@ func (o *Options) fill() {
 	if o.TrimerCutoff == 0 {
 		o.TrimerCutoff = math.Inf(1)
 	}
+	if o.FieldCutoff == 0 {
+		o.FieldCutoff = math.Inf(1)
+	}
 }
 
 // Fragmentation holds the monomer partition and bond-cut bookkeeping for
@@ -104,11 +120,29 @@ type Fragmentation struct {
 
 // New builds a Fragmentation from an explicit monomer partition. Every
 // atom must belong to exactly one monomer. Bonds crossing monomer
-// boundaries are detected from covalent radii and recorded for H-capping.
+// boundaries are detected from covalent radii (one cell-list pass) and
+// recorded for H-capping.
 func New(g *molecule.Geometry, monomers [][]int, opts Options) (*Fragmentation, error) {
-	if opts.DimerCutoff < 0 || opts.TrimerCutoff < 0 {
-		return nil, fmt.Errorf("fragment: negative cutoff (dimer %g, trimer %g Bohr); use 0 for no cutoff",
-			opts.DimerCutoff, opts.TrimerCutoff)
+	f, err := newPartition(g, monomers, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, b := range g.Bonds(f.Opts.BondScale) {
+		if f.atomMonomer[b[0]] != f.atomMonomer[b[1]] {
+			f.cutBonds = append(f.cutBonds, b)
+		}
+	}
+	return f, nil
+}
+
+// newPartition validates a monomer partition and builds the
+// Fragmentation without cut-bond detection — the shared core of New
+// (which detects cut bonds) and ByMolecule (which has proven the
+// partition bond-closed, so the scan would find nothing).
+func newPartition(g *molecule.Geometry, monomers [][]int, opts Options) (*Fragmentation, error) {
+	if opts.DimerCutoff < 0 || opts.TrimerCutoff < 0 || opts.FieldCutoff < 0 {
+		return nil, fmt.Errorf("fragment: negative cutoff (dimer %g, trimer %g, field %g Bohr); use 0 for no cutoff",
+			opts.DimerCutoff, opts.TrimerCutoff, opts.FieldCutoff)
 	}
 	opts.fill()
 	f := &Fragmentation{Geom: g, Opts: opts}
@@ -133,11 +167,6 @@ func New(g *molecule.Geometry, monomers [][]int, opts Options) (*Fragmentation, 
 			return nil, fmt.Errorf("fragment: atom %d not assigned to any monomer", i)
 		}
 	}
-	for _, b := range g.Bonds(opts.BondScale) {
-		if f.atomMonomer[b[0]] != f.atomMonomer[b[1]] {
-			f.cutBonds = append(f.cutBonds, b)
-		}
-	}
 	return f, nil
 }
 
@@ -146,9 +175,28 @@ func New(g *molecule.Geometry, monomers [][]int, opts Options) (*Fragmentation, 
 // atoms are emitted molecule by molecule), grouping molsPerMonomer
 // molecules into each monomer (the paper uses 1 for paracetamol and 4
 // for the urea runs).
+//
+// It validates that every molecule block really is a whole molecule:
+// a covalent bond crossing two blocks means the geometry is not
+// molecule-regular (a builder emitted atoms out of order, or the
+// system is covalently linked) and is rejected with a descriptive
+// error rather than silently severed and H-capped. The proof of
+// closure also means no monomer boundary can cut a bond, so the
+// per-fragmentation cut-bond scan of New is skipped entirely.
 func ByMolecule(g *molecule.Geometry, atomsPerMol, molsPerMonomer int, opts Options) (*Fragmentation, error) {
 	if g.N()%atomsPerMol != 0 {
 		return nil, fmt.Errorf("fragment: %d atoms not divisible by %d", g.N(), atomsPerMol)
+	}
+	scale := opts.BondScale
+	if scale == 0 {
+		scale = 1.25
+	}
+	for _, b := range g.Bonds(scale) {
+		if b[0]/atomsPerMol != b[1]/atomsPerMol {
+			return nil, fmt.Errorf(
+				"fragment: atoms %d and %d are covalently bonded but lie in different molecule blocks (%d and %d of %d atoms); ByMolecule requires whole molecules per block — check the builder's atom order or use New with an explicit partition",
+				b[0], b[1], b[0]/atomsPerMol, b[1]/atomsPerMol, atomsPerMol)
+		}
 	}
 	nmol := g.N() / atomsPerMol
 	var monomers [][]int
@@ -161,7 +209,7 @@ func ByMolecule(g *molecule.Geometry, atomsPerMol, molsPerMonomer int, opts Opti
 		}
 		monomers = append(monomers, atoms)
 	}
-	return New(g, monomers, opts)
+	return newPartition(g, monomers, opts)
 }
 
 // Centroid returns the centroid of monomer mi at the current geometry.
@@ -169,9 +217,74 @@ func (f *Fragmentation) Centroid(mi int) [3]float64 {
 	return f.Geom.CentroidOf(f.Monomers[mi].Atoms)
 }
 
-// MonomerDist returns the centroid distance between two monomers (Bohr).
+// MonomerDist returns the centroid distance between two monomers (Bohr)
+// — the minimum-image distance when the geometry is periodic. It
+// recomputes both centroids; enumeration passes (Terms, Contributions)
+// cache centroids once per pass instead of calling this per pair.
 func (f *Fragmentation) MonomerDist(i, j int) float64 {
-	return molecule.Dist(f.Centroid(i), f.Centroid(j))
+	return f.Geom.DistBetween(f.Centroid(i), f.Centroid(j))
+}
+
+// centroids computes every monomer centroid at the current geometry in
+// one pass — the per-enumeration cache that replaces the former
+// per-call recomputation (MonomerDist was called O(nm²)–O(nm³) times
+// per Terms pass, each call walking both monomers' atoms). The slice is
+// pass-local, so a geometry step can never leave a stale cache behind.
+func (f *Fragmentation) centroids() [][3]float64 {
+	return f.centroidsAt(func(a int) [3]float64 { return f.Geom.Atoms[a].Pos })
+}
+
+// centroidsAt is centroids with an explicit position source (the
+// scheduler's per-step histories). The arithmetic mirrors
+// Geometry.CentroidOf term for term so both paths agree bitwise.
+func (f *Fragmentation) centroidsAt(pos func(atom int) [3]float64) [][3]float64 {
+	out := make([][3]float64, len(f.Monomers))
+	for mi, m := range f.Monomers {
+		if len(m.Atoms) == 0 {
+			continue
+		}
+		var c [3]float64
+		for _, a := range m.Atoms {
+			p := pos(a)
+			for k := 0; k < 3; k++ {
+				c[k] += p[k]
+			}
+		}
+		inv := 1 / float64(len(m.Atoms))
+		for k := 0; k < 3; k++ {
+			c[k] *= inv
+		}
+		out[mi] = c
+	}
+	return out
+}
+
+// centroidSource returns the neighbor enumerator over monomer
+// centroids: the O(N) cell list, or the direct-scan oracle under
+// Opts.Brute, both minimum-image aware when the geometry is periodic.
+func (f *Fragmentation) centroidSource(cents [][3]float64) neighbor.Source {
+	var box *[3]float64
+	if f.Geom.Cell != nil {
+		l := f.Geom.Cell.L
+		box = &l
+	}
+	if f.Opts.Brute {
+		return neighbor.NewBrute(cents, box)
+	}
+	if box != nil {
+		return neighbor.NewPeriodic(cents, *box)
+	}
+	return neighbor.New(cents)
+}
+
+// centroidDistSq is the squared centroid distance with the same
+// arithmetic as the neighbor package (minimum image per component,
+// then the k-ascending sum of squares), so cutoff decisions made here
+// and inside a neighbor.Source agree bitwise.
+func (f *Fragmentation) centroidDistSq(a, b [3]float64) float64 {
+	d := [3]float64{a[0] - b[0], a[1] - b[1], a[2] - b[2]}
+	d = f.Geom.Cell.MinImage(d)
+	return d[0]*d[0] + d[1]*d[1] + d[2]*d[2]
 }
 
 // Polymers enumerates every polymer requiring evaluation under the
@@ -248,7 +361,20 @@ func (f *Fragmentation) TouchSet(p Polymer) []int {
 // ExtractAt is Extract with an explicit position source, used by the
 // asynchronous scheduler to build a polymer's geometry from per-monomer
 // position histories at a specific time step.
+//
+// Periodic geometries extract by nearest image: every member monomer is
+// rigidly shifted by the lattice vector bringing its centroid closest
+// to the first member's centroid, so a dimer straddling the box
+// boundary becomes the compact physical pair, not two distant copies.
+// Rigid lattice shifts leave all intra-fragment displacements — and
+// therefore the fragment energy and gradient — unchanged, so
+// FoldGradient needs no correction. Cut-bond outer atoms are likewise
+// min-imaged relative to their inner atom before the cap is placed.
+// With a nil Cell the position source passes through untouched.
 func (f *Fragmentation) ExtractAt(p Polymer, pos func(atom int) [3]float64) *Extracted {
+	if f.Geom.Cell != nil {
+		pos = f.imageShifted(p, pos)
+	}
 	inSet := map[int]bool{}
 	for _, mi := range p.Monomers {
 		for _, a := range f.Monomers[mi].Atoms {
@@ -281,11 +407,76 @@ func (f *Fragmentation) ExtractAt(p Polymer, pos func(atom int) [3]float64) *Ext
 		if ex.outerPositions == nil {
 			ex.outerPositions = map[Cap][3]float64{}
 		}
-		ex.outerPositions[cap] = pos(outer)
-		capXYZ := capPosition(pos(inner), pos(outer), f.Opts.CapDistance)
+		in, out := pos(inner), f.nearestImageOf(pos(outer), pos(inner))
+		ex.outerPositions[cap] = out
+		capXYZ := capPosition(in, out, f.Opts.CapDistance)
 		ex.Geom.AddAtom(1, capXYZ[0], capXYZ[1], capXYZ[2])
 	}
 	return ex
+}
+
+// imageShifted wraps a position source so each member monomer of p is
+// rigidly translated by the lattice vector bringing its centroid into
+// the minimum image of the first member's centroid. Monomers already in
+// the nearest image get no entry, keeping their positions bit-identical.
+func (f *Fragmentation) imageShifted(p Polymer, pos func(atom int) [3]float64) func(atom int) [3]float64 {
+	ref := f.monomerCentroidAt(p.Monomers[0], pos)
+	shift := map[int][3]float64{} // atom → lattice shift
+	for _, mi := range p.Monomers[1:] {
+		c := f.monomerCentroidAt(mi, pos)
+		d := [3]float64{c[0] - ref[0], c[1] - ref[1], c[2] - ref[2]}
+		md := f.Geom.Cell.MinImage(d)
+		sh := [3]float64{md[0] - d[0], md[1] - d[1], md[2] - d[2]}
+		if sh == ([3]float64{}) {
+			continue
+		}
+		for _, a := range f.Monomers[mi].Atoms {
+			shift[a] = sh
+		}
+	}
+	if len(shift) == 0 {
+		return pos
+	}
+	return func(a int) [3]float64 {
+		xyz := pos(a)
+		if sh, ok := shift[a]; ok {
+			xyz[0] += sh[0]
+			xyz[1] += sh[1]
+			xyz[2] += sh[2]
+		}
+		return xyz
+	}
+}
+
+// monomerCentroidAt computes one monomer's centroid from a position
+// source, mirroring Geometry.CentroidOf arithmetic.
+func (f *Fragmentation) monomerCentroidAt(mi int, pos func(atom int) [3]float64) [3]float64 {
+	var c [3]float64
+	atoms := f.Monomers[mi].Atoms
+	if len(atoms) == 0 {
+		return c
+	}
+	for _, a := range atoms {
+		p := pos(a)
+		for k := 0; k < 3; k++ {
+			c[k] += p[k]
+		}
+	}
+	inv := 1 / float64(len(atoms))
+	for k := 0; k < 3; k++ {
+		c[k] *= inv
+	}
+	return c
+}
+
+// nearestImageOf returns the periodic image of q closest to ref (q
+// itself when the geometry is open).
+func (f *Fragmentation) nearestImageOf(q, ref [3]float64) [3]float64 {
+	if f.Geom.Cell == nil {
+		return q
+	}
+	d := f.Geom.Cell.MinImage([3]float64{q[0] - ref[0], q[1] - ref[1], q[2] - ref[2]})
+	return [3]float64{ref[0] + d[0], ref[1] + d[1], ref[2] + d[2]}
 }
 
 // AtomMonomer returns the monomer index owning each atom.

@@ -98,49 +98,42 @@ func (t *Terms) All() []Polymer {
 }
 
 // Terms enumerates the truncated MBE polymer lists under the configured
-// cutoffs (centroid distances, paper §V-B).
+// cutoffs (centroid distances, paper §V-B; minimum-image when the
+// geometry is periodic). Monomer centroids are computed once for the
+// whole pass and enumeration runs through the cell list (or the brute
+// oracle under Opts.Brute — both yield identical lists in identical
+// order), so the cost is O(nm) for bounded density rather than the
+// former O(nm³) of per-pair centroid recomputation.
 func (f *Fragmentation) Terms() *Terms {
 	n := len(f.Monomers)
 	t := &Terms{}
 	for i := 0; i < n; i++ {
 		t.Monomers = append(t.Monomers, Polymer{Monomers: []int{i}})
 	}
+	cents := f.centroids()
+	src := f.centroidSource(cents)
 	inCut := map[[2]int]bool{}
-	needed := map[[2]int]bool{}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if f.MonomerDist(i, j) <= f.Opts.DimerCutoff {
-				inCut[[2]int{i, j}] = true
-			}
-		}
-	}
+	src.Pairs(f.Opts.DimerCutoff, func(i, j int) bool {
+		inCut[[2]int{i, j}] = true
+		t.Dimers = append(t.Dimers, Polymer{Monomers: []int{i, j}}) // lex order by contract
+		return true
+	})
 	if f.Opts.MaxOrder >= 3 {
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				if f.MonomerDist(i, j) > f.Opts.TrimerCutoff {
-					continue
-				}
-				for k := j + 1; k < n; k++ {
-					if f.MonomerDist(i, k) <= f.Opts.TrimerCutoff && f.MonomerDist(j, k) <= f.Opts.TrimerCutoff {
-						t.Trimers = append(t.Trimers, Polymer{Monomers: []int{i, j, k}})
-						for _, d := range [][2]int{{i, j}, {i, k}, {j, k}} {
-							if !inCut[d] {
-								needed[d] = true
-							}
-						}
-					}
+		needed := map[[2]int]bool{}
+		src.Triples(f.Opts.TrimerCutoff, func(i, j, k int) bool {
+			t.Trimers = append(t.Trimers, Polymer{Monomers: []int{i, j, k}})
+			for _, d := range [][2]int{{i, j}, {i, k}, {j, k}} {
+				if !inCut[d] {
+					needed[d] = true
 				}
 			}
+			return true
+		})
+		for d := range needed {
+			t.ExtraDimers = append(t.ExtraDimers, Polymer{Monomers: []int{d[0], d[1]}})
 		}
+		sortPolymers(t.ExtraDimers)
 	}
-	for d := range inCut {
-		t.Dimers = append(t.Dimers, Polymer{Monomers: []int{d[0], d[1]}})
-	}
-	for d := range needed {
-		t.ExtraDimers = append(t.ExtraDimers, Polymer{Monomers: []int{d[0], d[1]}})
-	}
-	sortPolymers(t.Dimers)
-	sortPolymers(t.ExtraDimers)
 	return t
 }
 
@@ -307,7 +300,10 @@ type Contribution struct {
 }
 
 // Contributions lists dimer and trimer ΔE values with distances.
+// Centroids are computed once for the pass (not per MonomerDist call).
 func (f *Fragmentation) Contributions(res *Result) []Contribution {
+	cents := f.centroids()
+	dist := func(i, j int) float64 { return f.Geom.DistBetween(cents[i], cents[j]) }
 	var out []Contribution
 	parse := func(key string) []int {
 		var a, b, c int
@@ -321,15 +317,15 @@ func (f *Fragmentation) Contributions(res *Result) []Contribution {
 	}
 	for key, de := range res.DeltaDimer {
 		m := parse(key)
-		out = append(out, Contribution{Order: 2, Dist: f.MonomerDist(m[0], m[1]), DeltaE: de})
+		out = append(out, Contribution{Order: 2, Dist: dist(m[0], m[1]), DeltaE: de})
 	}
 	for key, de := range res.DeltaTri {
 		m := parse(key)
-		d := f.MonomerDist(m[0], m[1])
-		if x := f.MonomerDist(m[0], m[2]); x > d {
+		d := dist(m[0], m[1])
+		if x := dist(m[0], m[2]); x > d {
 			d = x
 		}
-		if x := f.MonomerDist(m[1], m[2]); x > d {
+		if x := dist(m[1], m[2]); x > d {
 			d = x
 		}
 		out = append(out, Contribution{Order: 3, Dist: d, DeltaE: de})

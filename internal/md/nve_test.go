@@ -56,6 +56,33 @@ func TestNVEConservationLJ(t *testing.T) {
 	t.Logf("LJ NVE: %d steps, drift %.3e (dt=0.5fs) vs %.3e (dt=0.25fs), ratio %.2f", steps, d1, d2, d1/d2)
 }
 
+// Periodic LJ NVE: the same O(dt²) signature on a minimum-image water
+// box. The whole-system LJ force uses Geometry.Displacement, so every
+// pair interacts through its nearest periodic image; if the min-image
+// gradient were inconsistent with the min-image energy (e.g. the force
+// direction not folded with the distance), the drift would be linear
+// and dt-independent instead of shrinking ~4× at dt/2. The 3×3×3 box
+// keeps every pair component ~1.5 Å clear of the ±L/2 image-branch
+// boundary, so the trajectory never crosses a min-image kink.
+func TestNVEConservationPeriodicLJ(t *testing.T) {
+	steps := 300
+	if testing.Short() {
+		steps = 120
+	}
+	g := molecule.WaterBox(3, 3, 3, 1)
+	lj := &potential.LennardJones{Charges: map[int]float64{1: 0.2, 8: -0.4}}
+	prov := md.ForceFunc(lj.Evaluate)
+	d1 := nveMaxDrift(t, prov, g, 0.5, steps, 100, 7)
+	d2 := nveMaxDrift(t, prov, g, 0.25, 2*steps, 100, 7)
+	if d1 > 5e-6 {
+		t.Fatalf("periodic LJ NVE drift %.3e Ha over %d steps exceeds 5e-6", d1, steps)
+	}
+	if d2 <= 0 || d1/d2 < 3 {
+		t.Fatalf("drift not O(dt²): %.3e at dt vs %.3e at dt/2 (ratio %.2f)", d1, d2, d1/d2)
+	}
+	t.Logf("periodic LJ NVE: %d steps, drift %.3e (dt=0.5fs) vs %.3e (dt=0.25fs), ratio %.2f", steps, d1, d2, d1/d2)
+}
+
 // HF smoke: a handful of ab initio NVE steps on one water molecule.
 // The stiff O–H modes put the velocity-Verlet oscillation near 1e-5 Ha
 // at this dt, so the sharp assertion is the O(dt²) signature: halving

@@ -2,6 +2,7 @@ package molecule
 
 import (
 	"math"
+	"math/rand"
 )
 
 // Standard template geometries, in Ångström, for the paper's benchmark
@@ -54,6 +55,148 @@ func WaterCluster(n int) *Geometry {
 					float64(k)*spacing/0.529177210903)
 				g.Append(w)
 				count++
+			}
+		}
+	}
+	return g
+}
+
+// WaterBoxSpacing is the WaterBox lattice constant in Å, chosen so the
+// box reproduces liquid-water density (≈29.9 Å³ per molecule at
+// 0.997 g/cm³).
+const WaterBoxSpacing = 3.105
+
+// WaterBox returns nx×ny×nz water molecules (TIP3P gas-phase monomer
+// geometry) on a cubic lattice at liquid density inside a periodic
+// orthorhombic cell of (nx, ny, nz) × WaterBoxSpacing Å. Each molecule
+// gets a deterministic jittered position (±0.15 Å) and random
+// orientation from the seed, so two boxes with the same arguments are
+// bitwise identical. Atoms are emitted molecule-by-molecule (O, H, H),
+// ready for ByMolecule fragmentation with 3 atoms per monomer.
+func WaterBox(nx, ny, nz int, seed int64) *Geometry {
+	g := New()
+	g.Comment = "periodic water box"
+	rng := rand.New(rand.NewSource(seed))
+	if nx < 1 || ny < 1 || nz < 1 {
+		panic("molecule: WaterBox dimensions must be at least 1")
+	}
+	const s = WaterBoxSpacing
+	cell, err := NewCellAngstrom(float64(nx)*s, float64(ny)*s, float64(nz)*s)
+	if err != nil {
+		panic(err) // unreachable: dimensions validated above
+	}
+	g.Cell = cell
+	const f = 1 / 0.529177210903 // Bohr per Å
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				w := Water()
+				w.RotateZ(rng.Float64() * 2 * math.Pi)
+				jx := (rng.Float64() - 0.5) * 0.30
+				jy := (rng.Float64() - 0.5) * 0.30
+				jz := (rng.Float64() - 0.5) * 0.30
+				w.Translate(((float64(i)+0.5)*s+jx)*f,
+					((float64(j)+0.5)*s+jy)*f,
+					((float64(k)+0.5)*s+jz)*f)
+				g.Append(w)
+			}
+		}
+	}
+	return g
+}
+
+// SolvatedSolute returns the core molecule centred at the origin inside
+// an open-boundary water droplet of the given radius (Å): lattice
+// waters within the shell radius are kept unless they clash with the
+// core (any atom closer than 2.4 Å). The second return value lists the
+// monomers for fragment.New — the whole core first, then each water —
+// since the mixed atom counts rule out ByMolecule's regular blocks.
+func SolvatedSolute(core *Geometry, shellRadius float64) (*Geometry, [][]int) {
+	g := New()
+	g.Comment = "solvated " + core.Comment
+	c := core.Clone()
+	c.Cell = nil
+	cen := c.Centroid()
+	c.Translate(-cen[0], -cen[1], -cen[2])
+	g.Append(c)
+	coreMono := make([]int, c.N())
+	for i := range coreMono {
+		coreMono[i] = i
+	}
+	monomers := [][]int{coreMono}
+
+	const s = WaterBoxSpacing
+	const clash = 2.4 // Å, min water-O to core-atom distance
+	rb := shellRadius / 0.529177210903
+	cb := clash / 0.529177210903
+	sb := s / 0.529177210903
+	nmax := int(shellRadius/s) + 1
+	for i := -nmax; i <= nmax; i++ {
+		for j := -nmax; j <= nmax; j++ {
+			for k := -nmax; k <= nmax; k++ {
+				x := (float64(i) + 0.5) * sb
+				y := (float64(j) + 0.5) * sb
+				z := (float64(k) + 0.5) * sb
+				if math.Sqrt(x*x+y*y+z*z) > rb {
+					continue
+				}
+				tooClose := false
+				for _, a := range c.Atoms {
+					if Dist(a.Pos, [3]float64{x, y, z}) < cb {
+						tooClose = true
+						break
+					}
+				}
+				if tooClose {
+					continue
+				}
+				w := Water()
+				w.RotateZ(float64((i+2*j+3*k)%4) * math.Pi / 2)
+				w.Translate(x, y, z)
+				first := g.Append(w)
+				monomers = append(monomers, []int{first, first + 1, first + 2})
+			}
+		}
+	}
+	return g, monomers
+}
+
+// UreaSupercell returns an na×nb×nc supercell of the idealised
+// tetragonal urea lattice (a = b = 5.565 Å, c = 4.684 Å, two molecules
+// per cell with alternating orientation) under periodic boundary
+// conditions — the infinite-crystal counterpart of UreaCrystalSphere.
+// Atoms are emitted molecule-by-molecule (8 atoms each) for ByMolecule.
+func UreaSupercell(na, nb, nc int) *Geometry {
+	const a, c = 5.565, 4.684
+	g := New()
+	g.Comment = "urea supercell"
+	cell, err := NewCellAngstrom(float64(na)*a, float64(nb)*a, float64(nc)*c)
+	if err != nil {
+		panic("molecule: UreaSupercell dimensions must be at least 1")
+	}
+	g.Cell = cell
+	template := Urea()
+	const f = 1 / 0.529177210903
+	for i := 0; i < na; i++ {
+		for j := 0; j < nb; j++ {
+			for k := 0; k < nc; k++ {
+				for half := 0; half < 2; half++ {
+					x := float64(i) * a
+					y := float64(j) * a
+					z := float64(k) * c
+					if half == 1 {
+						x += a / 2
+						y += a / 2
+						z += c / 2
+					}
+					m := template.Clone()
+					if half == 1 {
+						m.RotateZ(math.Pi / 2)
+					}
+					// Offset so molecules sit inside the cell interior.
+					m.Translate((x+a/4)*f, (y+a/4)*f, (z+c/4)*f)
+					g.Append(m)
+				}
 			}
 		}
 	}

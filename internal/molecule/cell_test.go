@@ -1,0 +1,247 @@
+package molecule
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/fragmd/fragmd/internal/chem"
+)
+
+// TestMinImageDistProperties pins the minimum-image distance contract:
+// symmetric, never longer than the unwrapped distance, and equal to it
+// when both atoms sit in the same image well inside the box.
+func TestMinImageDistProperties(t *testing.T) {
+	cell, err := NewCell(20, 24, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New()
+	g.Cell = cell
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 40; i++ {
+		g.AddAtom(1, (rng.Float64()*6-3)*20, (rng.Float64()*6-3)*24, (rng.Float64()*6-3)*16)
+	}
+	open := g.Clone()
+	open.Cell = nil
+	for i := 0; i < g.N(); i++ {
+		for j := i + 1; j < g.N(); j++ {
+			dw := g.Dist(i, j)
+			if rev := g.Dist(j, i); rev != dw {
+				t.Fatalf("Dist(%d,%d)=%g but Dist(%d,%d)=%g", i, j, dw, j, i, rev)
+			}
+			if du := open.Dist(i, j); dw > du+1e-12 {
+				t.Fatalf("min-image Dist(%d,%d)=%g exceeds unwrapped %g", i, j, dw, du)
+			}
+			half := math.Sqrt(10*10 + 12*12 + 8*8)
+			if dw > half+1e-9 {
+				t.Fatalf("min-image Dist(%d,%d)=%g exceeds half-diagonal %g", i, j, dw, half)
+			}
+		}
+	}
+}
+
+// TestDisplacementMatchesDist checks |Displacement| ≡ Dist and the
+// antisymmetry Displacement(i,j) = −Displacement(j,i).
+func TestDisplacementMatchesDist(t *testing.T) {
+	g := WaterBox(2, 2, 2, 1)
+	for i := 0; i < g.N(); i += 3 {
+		for j := i + 3; j < g.N(); j += 5 {
+			d := g.Displacement(i, j)
+			r := math.Sqrt(d[0]*d[0] + d[1]*d[1] + d[2]*d[2])
+			if math.Abs(r-g.Dist(i, j)) > 1e-12 {
+				t.Fatalf("|Displacement(%d,%d)| = %g, Dist = %g", i, j, r, g.Dist(i, j))
+			}
+			rd := g.Displacement(j, i)
+			for k := 0; k < 3; k++ {
+				if d[k] != -rd[k] {
+					t.Fatalf("Displacement not antisymmetric at (%d,%d)[%d]", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+// TestCellWrap folds positions into [0, L).
+func TestCellWrap(t *testing.T) {
+	cell, _ := NewCell(10, 10, 10)
+	for _, p := range [][3]float64{{-1, 11, 25}, {0, 0, 0}, {9.999, -30, 10}} {
+		w := cell.Wrap(p)
+		for k := 0; k < 3; k++ {
+			if w[k] < 0 || w[k] >= 10 {
+				t.Fatalf("Wrap(%v) = %v outside [0, 10)", p, w)
+			}
+		}
+	}
+}
+
+// TestNewCellValidation rejects non-positive or infinite edges.
+func TestNewCellValidation(t *testing.T) {
+	for _, l := range [][3]float64{{0, 1, 1}, {1, -2, 1}, {1, 1, math.Inf(1)}, {math.NaN(), 1, 1}} {
+		if _, err := NewCell(l[0], l[1], l[2]); err == nil {
+			t.Fatalf("NewCell(%v) accepted an invalid cell", l)
+		}
+	}
+	if _, err := NewCell(1, 2, 3); err != nil {
+		t.Fatalf("NewCell(1,2,3): %v", err)
+	}
+}
+
+// TestXYZCellRoundTrip writes a periodic geometry and parses it back,
+// checking the cell and comment survive exactly.
+func TestXYZCellRoundTrip(t *testing.T) {
+	g := WaterBox(2, 3, 2, 7)
+	var sb strings.Builder
+	if err := g.WriteXYZ(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseXYZ(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cell == nil {
+		t.Fatal("round-tripped geometry lost its cell")
+	}
+	for k := 0; k < 3; k++ {
+		if math.Abs(back.Cell.L[k]-g.Cell.L[k]) > 1e-9 {
+			t.Fatalf("cell edge %d: wrote %g, parsed %g", k, g.Cell.L[k], back.Cell.L[k])
+		}
+	}
+	if back.Comment != g.Comment {
+		t.Fatalf("comment: wrote %q, parsed %q", g.Comment, back.Comment)
+	}
+	if back.N() != g.N() {
+		t.Fatalf("atom count: wrote %d, parsed %d", g.N(), back.N())
+	}
+	// Open-boundary geometries must stay cell-free.
+	open := Water()
+	sb.Reset()
+	if err := open.WriteXYZ(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "cell=") {
+		t.Fatal("open geometry emitted a cell token")
+	}
+}
+
+// TestParseXYZBadCell rejects malformed cell tokens.
+func TestParseXYZBadCell(t *testing.T) {
+	for _, comment := range []string{"cell=1,2", "cell=1,2,x", "cell=0,2,3", "cell=1,2,3,4"} {
+		in := "1\n" + comment + "\nO 0 0 0\n"
+		if _, err := ParseXYZ(strings.NewReader(in)); err == nil {
+			t.Fatalf("ParseXYZ accepted bad comment %q", comment)
+		}
+	}
+}
+
+// TestWaterBox pins size, density, determinism, and periodic bond
+// detection (no spurious inter-molecular bonds across images).
+func TestWaterBox(t *testing.T) {
+	g := WaterBox(3, 3, 3, 1)
+	if g.N() != 27*3 {
+		t.Fatalf("WaterBox(3,3,3): %d atoms, want 81", g.N())
+	}
+	if g.Cell == nil {
+		t.Fatal("WaterBox has no cell")
+	}
+	want := 3 * WaterBoxSpacing * chem.BohrPerAngstrom
+	for k := 0; k < 3; k++ {
+		if math.Abs(g.Cell.L[k]-want) > 1e-9 {
+			t.Fatalf("cell edge %d = %g, want %g", k, g.Cell.L[k], want)
+		}
+	}
+	if h := WaterBox(3, 3, 3, 1); h.Atoms[40] != g.Atoms[40] {
+		t.Fatal("WaterBox is not deterministic for a fixed seed")
+	}
+	if h := WaterBox(3, 3, 3, 2); h.Atoms[40] == g.Atoms[40] {
+		t.Fatal("WaterBox seed has no effect")
+	}
+	// Every bond must be intra-molecular (O–H within a 3-atom block).
+	for _, b := range g.Bonds(1.25) {
+		if b[0]/3 != b[1]/3 {
+			t.Fatalf("WaterBox has inter-molecular bond %v", b)
+		}
+	}
+}
+
+// TestUreaSupercell pins size and per-molecule bond closure.
+func TestUreaSupercell(t *testing.T) {
+	g := UreaSupercell(2, 2, 2)
+	if g.N() != 2*2*2*2*8 {
+		t.Fatalf("UreaSupercell(2,2,2): %d atoms, want 128", g.N())
+	}
+	if g.Cell == nil {
+		t.Fatal("UreaSupercell has no cell")
+	}
+	for _, b := range g.Bonds(1.25) {
+		if b[0]/8 != b[1]/8 {
+			t.Fatalf("UreaSupercell has inter-molecular bond %v", b)
+		}
+	}
+}
+
+// TestSolvatedSolute checks the shell geometry and monomer lists.
+func TestSolvatedSolute(t *testing.T) {
+	g, monomers := SolvatedSolute(Urea(), 6)
+	if g.Cell != nil {
+		t.Fatal("SolvatedSolute droplet must be open-boundary")
+	}
+	if len(monomers) < 2 {
+		t.Fatalf("SolvatedSolute placed no waters: %d monomers", len(monomers))
+	}
+	if len(monomers[0]) != 8 {
+		t.Fatalf("first monomer is not the urea core: %d atoms", len(monomers[0]))
+	}
+	seen := make(map[int]bool)
+	total := 0
+	for _, m := range monomers {
+		for _, a := range m {
+			if seen[a] {
+				t.Fatalf("atom %d in two monomers", a)
+			}
+			seen[a] = true
+		}
+		total += len(m)
+	}
+	if total != g.N() {
+		t.Fatalf("monomers cover %d of %d atoms", total, g.N())
+	}
+	// No water oxygen may clash with the core.
+	for _, m := range monomers[1:] {
+		for _, ci := range monomers[0] {
+			if d := g.Dist(ci, m[0]); d < 2.4*chem.BohrPerAngstrom {
+				t.Fatalf("water %v only %g Bohr from core atom %d", m, d, ci)
+			}
+		}
+	}
+}
+
+// TestBondsMatchesBruteScan cross-checks the cell-list Bonds against
+// the direct all-pairs scan, open and periodic.
+func TestBondsMatchesBruteScan(t *testing.T) {
+	brute := func(g *Geometry, scale float64) [][2]int {
+		var bonds [][2]int
+		for i := 0; i < len(g.Atoms); i++ {
+			ri := chem.CovalentRadius(g.Atoms[i].Z)
+			for j := i + 1; j < len(g.Atoms); j++ {
+				rj := chem.CovalentRadius(g.Atoms[j].Z)
+				if g.Dist(i, j) < scale*(ri+rj) {
+					bonds = append(bonds, [2]int{i, j})
+				}
+			}
+		}
+		return bonds
+	}
+	for _, g := range []*Geometry{WaterCluster(20), WaterBox(3, 2, 2, 3), UreaSupercell(2, 1, 1), Paracetamol()} {
+		got, want := g.Bonds(1.25), brute(g, 1.25)
+		if len(got) != len(want) {
+			t.Fatalf("%s: cell-list Bonds found %d, brute %d", g.Comment, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: bond %d: cell list %v, brute %v", g.Comment, i, got[i], want[i])
+			}
+		}
+	}
+}

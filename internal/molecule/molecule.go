@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"github.com/fragmd/fragmd/internal/chem"
+	"github.com/fragmd/fragmd/internal/neighbor"
 )
 
 // Atom is a nucleus: atomic number and position in Bohr.
@@ -24,10 +25,13 @@ type Atom struct {
 	Pos [3]float64
 }
 
-// Geometry is an ordered collection of atoms.
+// Geometry is an ordered collection of atoms. A non-nil Cell makes the
+// geometry periodic in an orthorhombic box (see Cell for the
+// minimum-image and unwrapped-storage conventions).
 type Geometry struct {
 	Atoms   []Atom
 	Comment string
+	Cell    *Cell
 }
 
 // New returns an empty geometry.
@@ -59,7 +63,7 @@ func (g *Geometry) NumElectrons() int {
 
 // Clone returns a deep copy of the geometry.
 func (g *Geometry) Clone() *Geometry {
-	c := &Geometry{Comment: g.Comment, Atoms: make([]Atom, len(g.Atoms))}
+	c := &Geometry{Comment: g.Comment, Atoms: make([]Atom, len(g.Atoms)), Cell: g.Cell.Clone()}
 	copy(c.Atoms, g.Atoms)
 	return c
 }
@@ -127,9 +131,14 @@ func (g *Geometry) CentroidOf(idx []int) [3]float64 {
 	return c
 }
 
-// Dist returns the distance in Bohr between atoms i and j.
+// Dist returns the distance in Bohr between atoms i and j — the
+// minimum-image distance when the geometry is periodic.
 func (g *Geometry) Dist(i, j int) float64 {
-	return Dist(g.Atoms[i].Pos, g.Atoms[j].Pos)
+	if g.Cell == nil {
+		return Dist(g.Atoms[i].Pos, g.Atoms[j].Pos)
+	}
+	d := g.Displacement(i, j)
+	return math.Sqrt(d[0]*d[0] + d[1]*d[1] + d[2]*d[2])
 }
 
 // Dist returns the Euclidean distance between two points.
@@ -140,7 +149,8 @@ func Dist(a, b [3]float64) float64 {
 	return math.Sqrt(dx*dx + dy*dy + dz*dz)
 }
 
-// NuclearRepulsion returns the nucleus-nucleus Coulomb energy in Hartree.
+// NuclearRepulsion returns the nucleus-nucleus Coulomb energy in Hartree
+// (nearest images only when periodic).
 func (g *Geometry) NuclearRepulsion() float64 {
 	var e float64
 	for i := 0; i < len(g.Atoms); i++ {
@@ -151,42 +161,75 @@ func (g *Geometry) NuclearRepulsion() float64 {
 	return e
 }
 
-// NuclearRepulsionGradient returns ∂E_nuc/∂R as a flat [3N] slice.
+// NuclearRepulsionGradient returns ∂E_nuc/∂R as a flat [3N] slice,
+// consistent with NuclearRepulsion (minimum-image displacements when
+// periodic).
 func (g *Geometry) NuclearRepulsionGradient() []float64 {
 	grad := make([]float64, 3*len(g.Atoms))
 	for i := 0; i < len(g.Atoms); i++ {
 		for j := i + 1; j < len(g.Atoms); j++ {
-			r := g.Dist(i, j)
+			dd := g.Displacement(i, j)
+			r := math.Sqrt(dd[0]*dd[0] + dd[1]*dd[1] + dd[2]*dd[2])
 			f := -float64(g.Atoms[i].Z*g.Atoms[j].Z) / (r * r * r)
 			for k := 0; k < 3; k++ {
-				d := g.Atoms[i].Pos[k] - g.Atoms[j].Pos[k]
-				grad[3*i+k] += f * d
-				grad[3*j+k] -= f * d
+				grad[3*i+k] += f * dd[k]
+				grad[3*j+k] -= f * dd[k]
 			}
 		}
 	}
 	return grad
 }
 
+// NeighborSource returns an O(N) cell-list neighbor enumerator over the
+// atom positions, minimum-image aware when the geometry is periodic.
+func (g *Geometry) NeighborSource() neighbor.Source {
+	pts := make([][3]float64, len(g.Atoms))
+	for i, a := range g.Atoms {
+		pts[i] = a.Pos
+	}
+	if g.Cell != nil {
+		return neighbor.NewPeriodic(pts, g.Cell.L)
+	}
+	return neighbor.New(pts)
+}
+
 // Bonds returns all pairs (i, j), i<j, closer than scale × the sum of
 // covalent radii. scale = 1.2–1.3 is customary; the fragmenters use 1.25.
+// Enumeration goes through the cell list with a covering cutoff (twice
+// the largest covalent radius present, scaled) and filters per pair, so
+// the cost is O(N) for bounded density instead of the former all-pairs
+// scan, with identical output order (i ascending, then j).
 func (g *Geometry) Bonds(scale float64) [][2]int {
-	var bonds [][2]int
-	for i := 0; i < len(g.Atoms); i++ {
-		ri := chem.CovalentRadius(g.Atoms[i].Z)
-		for j := i + 1; j < len(g.Atoms); j++ {
-			rj := chem.CovalentRadius(g.Atoms[j].Z)
-			if g.Dist(i, j) < scale*(ri+rj) {
-				bonds = append(bonds, [2]int{i, j})
-			}
-		}
+	var rmax float64
+	for _, a := range g.Atoms {
+		rmax = math.Max(rmax, chem.CovalentRadius(a.Z))
 	}
+	cover := scale * 2 * rmax
+	var bonds [][2]int
+	g.NeighborSource().Pairs(cover, func(i, j int) bool {
+		ri := chem.CovalentRadius(g.Atoms[i].Z)
+		rj := chem.CovalentRadius(g.Atoms[j].Z)
+		if g.Dist(i, j) < scale*(ri+rj) {
+			bonds = append(bonds, [2]int{i, j})
+		}
+		return true
+	})
 	return bonds
 }
 
-// WriteXYZ writes the geometry in XYZ format (Ångström).
+// WriteXYZ writes the geometry in XYZ format (Ångström). A periodic
+// geometry records its box as a "cell=Lx,Ly,Lz" token (Å) on the
+// comment line; ParseXYZ round-trips it.
 func (g *Geometry) WriteXYZ(w io.Writer) error {
-	if _, err := fmt.Fprintf(w, "%d\n%s\n", len(g.Atoms), g.Comment); err != nil {
+	comment := g.Comment
+	if g.Cell != nil {
+		tok := fmt.Sprintf("cell=%s,%s,%s",
+			strconv.FormatFloat(g.Cell.L[0]*chem.AngstromPerBohr, 'g', -1, 64),
+			strconv.FormatFloat(g.Cell.L[1]*chem.AngstromPerBohr, 'g', -1, 64),
+			strconv.FormatFloat(g.Cell.L[2]*chem.AngstromPerBohr, 'g', -1, 64))
+		comment = strings.TrimSpace(comment + " " + tok)
+	}
+	if _, err := fmt.Fprintf(w, "%d\n%s\n", len(g.Atoms), comment); err != nil {
 		return err
 	}
 	for _, a := range g.Atoms {
@@ -212,6 +255,11 @@ func ParseXYZ(r io.Reader) (*Geometry, error) {
 	g := New()
 	if sc.Scan() {
 		g.Comment = strings.TrimSpace(sc.Text())
+		if cell, rest, err := parseCellComment(g.Comment); err != nil {
+			return nil, err
+		} else if cell != nil {
+			g.Cell, g.Comment = cell, rest
+		}
 	}
 	for i := 0; i < n; i++ {
 		if !sc.Scan() {
@@ -236,4 +284,36 @@ func ParseXYZ(r io.Reader) (*Geometry, error) {
 		g.AddAtomAngstrom(el.Z, xyz[0], xyz[1], xyz[2])
 	}
 	return g, sc.Err()
+}
+
+// parseCellComment scans an XYZ comment line for a "cell=Lx,Ly,Lz"
+// token (Å). It returns the parsed cell (nil when absent) and the
+// comment with the token removed.
+func parseCellComment(comment string) (*Cell, string, error) {
+	var cell *Cell
+	var rest []string
+	for _, f := range strings.Fields(comment) {
+		if !strings.HasPrefix(f, "cell=") {
+			rest = append(rest, f)
+			continue
+		}
+		parts := strings.Split(strings.TrimPrefix(f, "cell="), ",")
+		if len(parts) != 3 {
+			return nil, "", fmt.Errorf("molecule: bad cell token %q: want cell=Lx,Ly,Lz", f)
+		}
+		var l [3]float64
+		for k, p := range parts {
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("molecule: bad cell edge %q: %w", p, err)
+			}
+			l[k] = v
+		}
+		c, err := NewCellAngstrom(l[0], l[1], l[2])
+		if err != nil {
+			return nil, "", err
+		}
+		cell = c
+	}
+	return cell, strings.Join(rest, " "), nil
 }

@@ -1,0 +1,403 @@
+// Package neighbor provides O(N) neighbor enumeration over point sets —
+// the linked-cell ("cell list") machinery behind the fragmentation
+// path's dimer/trimer enumeration, bond detection, and EE-MBE field
+// assembly (DESIGN.md §13).
+//
+// A Source enumerates, for a given cutoff, the index pairs (i<j) whose
+// points lie within the cutoff, the triples (i<j<k) with all three
+// pairwise distances within it, and the points near an arbitrary query
+// position. Two implementations sit behind the interface:
+//
+//   - CellList: linked-cell binning with a 27-bin stencil, O(N) for
+//     bounded density. With a periodic box it applies the minimum-image
+//     convention and wraps the stencil; without one it bins over the
+//     bounding box.
+//   - Brute: the O(N²)/O(N³) direct scan, retained as the correctness
+//     oracle. CellList must reproduce its output exactly — same pairs,
+//     same order.
+//
+// Determinism: both implementations yield pairs in lexicographic order
+// (i ascending, then j) and triples in (i, j, k) order, so a caller
+// swapping one for the other sees bitwise-identical downstream results.
+// Distance comparisons are inclusive (d ≤ cutoff) and evaluated in
+// squared form, avoiding a square root in the hot loop; callers with
+// per-pair thresholds (bond detection) enumerate with a covering cutoff
+// and filter.
+//
+// The package is intentionally stdlib-only and geometry-agnostic: it
+// sees points and an optional box, never atoms, so both the molecule
+// and fragment layers can build on it without an import cycle.
+package neighbor
+
+import (
+	"math"
+	"sort"
+)
+
+// Source enumerates neighbors within a cutoff over a fixed point set.
+// Implementations must yield deterministically: pairs in (i, j)
+// lexicographic order, triples in (i, j, k) order, Near in index order.
+// Returning false from a yield stops the enumeration.
+type Source interface {
+	// Pairs yields every (i, j), i < j, with dist(i, j) ≤ cutoff.
+	Pairs(cutoff float64, yield func(i, j int) bool)
+	// Triples yields every (i, j, k), i < j < k, with all three
+	// pairwise distances ≤ cutoff.
+	Triples(cutoff float64, yield func(i, j, k int) bool)
+	// Near yields every point index with dist(point, p) ≤ cutoff.
+	Near(p [3]float64, cutoff float64, yield func(i int) bool)
+}
+
+// minImage folds a displacement component into (−L/2, L/2].
+func minImage(d, l float64) float64 {
+	if l <= 0 {
+		return d
+	}
+	return d - l*math.Round(d/l)
+}
+
+// distSq returns the squared distance between a and b under an optional
+// periodic box (box nil or zero-length components = open boundaries on
+// those axes).
+func distSq(a, b [3]float64, box *[3]float64) float64 {
+	var s float64
+	for k := 0; k < 3; k++ {
+		d := a[k] - b[k]
+		if box != nil {
+			d = minImage(d, box[k])
+		}
+		s += d * d
+	}
+	return s
+}
+
+// Brute is the O(N²) direct-scan Source — the correctness oracle the
+// cell list is tested against, and the fallback for cutoffs the binning
+// cannot cover (no finite cutoff, or a periodic box shorter than three
+// bins per axis).
+type Brute struct {
+	pts [][3]float64
+	box *[3]float64
+}
+
+// NewBrute returns a brute-force Source over pts. box, when non-nil,
+// holds orthorhombic box edge lengths and switches distances to the
+// minimum-image convention.
+func NewBrute(pts [][3]float64, box *[3]float64) *Brute {
+	return &Brute{pts: pts, box: box}
+}
+
+// Pairs implements Source by direct double loop.
+func (b *Brute) Pairs(cutoff float64, yield func(i, j int) bool) {
+	c2 := cutoff * cutoff
+	inf := math.IsInf(cutoff, 1)
+	for i := 0; i < len(b.pts); i++ {
+		for j := i + 1; j < len(b.pts); j++ {
+			if inf || distSq(b.pts[i], b.pts[j], b.box) <= c2 {
+				if !yield(i, j) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Triples implements Source by direct triple loop.
+func (b *Brute) Triples(cutoff float64, yield func(i, j, k int) bool) {
+	c2 := cutoff * cutoff
+	inf := math.IsInf(cutoff, 1)
+	within := func(i, j int) bool {
+		return inf || distSq(b.pts[i], b.pts[j], b.box) <= c2
+	}
+	for i := 0; i < len(b.pts); i++ {
+		for j := i + 1; j < len(b.pts); j++ {
+			if !within(i, j) {
+				continue
+			}
+			for k := j + 1; k < len(b.pts); k++ {
+				if within(i, k) && within(j, k) {
+					if !yield(i, j, k) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Near implements Source by direct scan.
+func (b *Brute) Near(p [3]float64, cutoff float64, yield func(i int) bool) {
+	c2 := cutoff * cutoff
+	inf := math.IsInf(cutoff, 1)
+	for i := range b.pts {
+		if inf || distSq(p, b.pts[i], b.box) <= c2 {
+			if !yield(i) {
+				return
+			}
+		}
+	}
+}
+
+// CellList is the linked-cell Source: points are binned into a grid of
+// cells at least one cutoff wide, so each point's neighbors live in its
+// own and the 26 surrounding bins. Binning is built lazily per cutoff
+// and cached, so repeated enumerations at the same cutoff (the
+// Pairs-then-Triples pattern in fragment.Terms) bin once.
+type CellList struct {
+	pts [][3]float64
+	box *[3]float64
+
+	grid *grid // cached binning for grid.cutoff
+}
+
+// New returns a cell-list Source over pts with open boundaries.
+func New(pts [][3]float64) *CellList { return &CellList{pts: pts} }
+
+// NewPeriodic returns a cell-list Source over pts in an orthorhombic
+// periodic box with the given edge lengths; distances use the
+// minimum-image convention. Points may lie outside [0, L) — they are
+// wrapped for binning only, never mutated.
+func NewPeriodic(pts [][3]float64, box [3]float64) *CellList {
+	return &CellList{pts: pts, box: &box}
+}
+
+// grid is one binning of the point set at a specific cutoff.
+type grid struct {
+	cutoff   float64
+	nb       [3]int     // bins per axis
+	origin   [3]float64 // bounding-box corner (open boundaries)
+	width    [3]float64 // bin width per axis (≥ cutoff)
+	periodic bool
+	bins     [][]int // bin → point indices, in index order
+	binOf    []int   // point → bin
+	brute    *Brute  // non-nil when binning cannot cover the cutoff
+}
+
+// build constructs (or reuses) the binning for a cutoff.
+func (l *CellList) build(cutoff float64) *grid {
+	if l.grid != nil && l.grid.cutoff == cutoff {
+		return l.grid
+	}
+	g := &grid{cutoff: cutoff, periodic: l.box != nil}
+	// A cutoff the binning cannot cover degrades to the brute oracle:
+	// +Inf (the "no cutoff" convention), NaN, non-positive, or a
+	// periodic box shorter than three bins on some axis (the 27-stencil
+	// would double-count wrapped neighbors).
+	degenerate := !(cutoff > 0) || math.IsInf(cutoff, 1)
+	if !degenerate && g.periodic {
+		for k := 0; k < 3; k++ {
+			if int(math.Floor(l.box[k]/cutoff)) < 3 {
+				degenerate = true
+				break
+			}
+		}
+	}
+	if degenerate || len(l.pts) == 0 {
+		g.brute = NewBrute(l.pts, l.box)
+		l.grid = g
+		return g
+	}
+	if g.periodic {
+		for k := 0; k < 3; k++ {
+			g.nb[k] = int(math.Floor(l.box[k] / cutoff))
+			g.width[k] = l.box[k] / float64(g.nb[k])
+		}
+	} else {
+		lo, hi := l.pts[0], l.pts[0]
+		for _, p := range l.pts[1:] {
+			for k := 0; k < 3; k++ {
+				lo[k] = math.Min(lo[k], p[k])
+				hi[k] = math.Max(hi[k], p[k])
+			}
+		}
+		g.origin = lo
+		for k := 0; k < 3; k++ {
+			ext := hi[k] - lo[k]
+			g.nb[k] = 1
+			if ext > 0 {
+				if n := int(math.Floor(ext / cutoff)); n > 1 {
+					g.nb[k] = n
+				}
+			}
+			if ext > 0 {
+				g.width[k] = ext / float64(g.nb[k])
+			} else {
+				g.width[k] = cutoff
+			}
+		}
+	}
+	g.bins = make([][]int, g.nb[0]*g.nb[1]*g.nb[2])
+	g.binOf = make([]int, len(l.pts))
+	for i, p := range l.pts {
+		b := g.binIndex(g.coords(p))
+		g.binOf[i] = b
+		g.bins[b] = append(g.bins[b], i)
+	}
+	l.grid = g
+	return g
+}
+
+// coords maps a point to its bin coordinates, wrapping (periodic) or
+// clamping (open) so out-of-range points land in a valid bin.
+func (g *grid) coords(p [3]float64) [3]int {
+	var c [3]int
+	for k := 0; k < 3; k++ {
+		var f float64
+		if g.periodic {
+			f = math.Floor(p[k] / g.width[k])
+			n := float64(g.nb[k])
+			f = f - n*math.Floor(f/n) // wrap into [0, nb)
+		} else {
+			f = math.Floor((p[k] - g.origin[k]) / g.width[k])
+		}
+		i := int(f)
+		if i < 0 {
+			i = 0
+		}
+		if i >= g.nb[k] {
+			i = g.nb[k] - 1
+		}
+		c[k] = i
+	}
+	return c
+}
+
+func (g *grid) binIndex(c [3]int) int {
+	return (c[0]*g.nb[1]+c[1])*g.nb[2] + c[2]
+}
+
+// stencil calls fn for each bin in the 27-bin neighborhood of c,
+// wrapping across periodic boundaries and clamping at open ones. Each
+// bin is visited at most once (relevant when an axis has < 3 bins in
+// the open-boundary case).
+func (g *grid) stencil(c [3]int, fn func(bin int)) {
+	var seen [27]int
+	n := 0
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dz := -1; dz <= 1; dz++ {
+				cc := [3]int{c[0] + dx, c[1] + dy, c[2] + dz}
+				ok := true
+				for k := 0; k < 3; k++ {
+					if g.periodic {
+						cc[k] = (cc[k] + g.nb[k]) % g.nb[k]
+					} else if cc[k] < 0 || cc[k] >= g.nb[k] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				b := g.binIndex(cc)
+				dup := false
+				for s := 0; s < n; s++ {
+					if seen[s] == b {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				seen[n] = b
+				n++
+				fn(b)
+			}
+		}
+	}
+}
+
+// neighborsOf returns the sorted indices j > i within cutoff of point i,
+// appended into buf (reused across calls to avoid per-point allocation).
+func (l *CellList) neighborsOf(g *grid, i int, buf []int) []int {
+	c2 := g.cutoff * g.cutoff
+	p := l.pts[i]
+	buf = buf[:0]
+	g.stencil(g.coordsOfBin(g.binOf[i]), func(bin int) {
+		for _, j := range g.bins[bin] {
+			if j > i && distSq(p, l.pts[j], l.box) <= c2 {
+				buf = append(buf, j)
+			}
+		}
+	})
+	sort.Ints(buf)
+	return buf
+}
+
+// coordsOfBin inverts binIndex.
+func (g *grid) coordsOfBin(b int) [3]int {
+	z := b % g.nb[2]
+	b /= g.nb[2]
+	y := b % g.nb[1]
+	x := b / g.nb[1]
+	return [3]int{x, y, z}
+}
+
+// Pairs implements Source.
+func (l *CellList) Pairs(cutoff float64, yield func(i, j int) bool) {
+	g := l.build(cutoff)
+	if g.brute != nil {
+		g.brute.Pairs(cutoff, yield)
+		return
+	}
+	var buf []int
+	for i := range l.pts {
+		buf = l.neighborsOf(g, i, buf)
+		for _, j := range buf {
+			if !yield(i, j) {
+				return
+			}
+		}
+	}
+}
+
+// Triples implements Source: for each i, the sorted forward neighbor
+// list is closed over the third pair distance, reproducing the brute
+// (i, j, k) enumeration exactly.
+func (l *CellList) Triples(cutoff float64, yield func(i, j, k int) bool) {
+	g := l.build(cutoff)
+	if g.brute != nil {
+		g.brute.Triples(cutoff, yield)
+		return
+	}
+	c2 := cutoff * cutoff
+	var buf []int
+	for i := range l.pts {
+		buf = l.neighborsOf(g, i, buf)
+		for x := 0; x < len(buf); x++ {
+			for y := x + 1; y < len(buf); y++ {
+				j, k := buf[x], buf[y]
+				if distSq(l.pts[j], l.pts[k], l.box) <= c2 {
+					if !yield(i, j, k) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Near implements Source for an arbitrary query position.
+func (l *CellList) Near(p [3]float64, cutoff float64, yield func(i int) bool) {
+	g := l.build(cutoff)
+	if g.brute != nil {
+		g.brute.Near(p, cutoff, yield)
+		return
+	}
+	c2 := cutoff * cutoff
+	var buf []int
+	g.stencil(g.coords(p), func(bin int) {
+		for _, i := range g.bins[bin] {
+			if distSq(p, l.pts[i], l.box) <= c2 {
+				buf = append(buf, i)
+			}
+		}
+	})
+	sort.Ints(buf)
+	for _, i := range buf {
+		if !yield(i) {
+			return
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package neighbor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// collect materialises a Source's enumerations for comparison.
+func collectPairs(s Source, cutoff float64) [][2]int {
+	var out [][2]int
+	s.Pairs(cutoff, func(i, j int) bool {
+		out = append(out, [2]int{i, j})
+		return true
+	})
+	return out
+}
+
+func collectTriples(s Source, cutoff float64) [][3]int {
+	var out [][3]int
+	s.Triples(cutoff, func(i, j, k int) bool {
+		out = append(out, [3]int{i, j, k})
+		return true
+	})
+	return out
+}
+
+func collectNear(s Source, p [3]float64, cutoff float64) []int {
+	var out []int
+	s.Near(p, cutoff, func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// checkAgainstOracle asserts the cell list reproduces the brute oracle
+// exactly — same members, same order — for pairs, triples, and Near.
+func checkAgainstOracle(t *testing.T, pts [][3]float64, box *[3]float64, cutoff float64) {
+	t.Helper()
+	var cl Source
+	if box != nil {
+		cl = NewPeriodic(pts, *box)
+	} else {
+		cl = New(pts)
+	}
+	oracle := NewBrute(pts, box)
+
+	gp, wp := collectPairs(cl, cutoff), collectPairs(oracle, cutoff)
+	if len(gp) != len(wp) {
+		t.Fatalf("cutoff %g: cell list found %d pairs, oracle %d", cutoff, len(gp), len(wp))
+	}
+	for i := range gp {
+		if gp[i] != wp[i] {
+			t.Fatalf("cutoff %g: pair %d: cell list %v, oracle %v", cutoff, i, gp[i], wp[i])
+		}
+	}
+	gt, wt := collectTriples(cl, cutoff), collectTriples(oracle, cutoff)
+	if len(gt) != len(wt) {
+		t.Fatalf("cutoff %g: cell list found %d triples, oracle %d", cutoff, len(gt), len(wt))
+	}
+	for i := range gt {
+		if gt[i] != wt[i] {
+			t.Fatalf("cutoff %g: triple %d: cell list %v, oracle %v", cutoff, i, gt[i], wt[i])
+		}
+	}
+	for _, q := range [][3]float64{{0, 0, 0}, pts[0], {1e3, -1e3, 0.5}} {
+		gn, wn := collectNear(cl, q, cutoff), collectNear(oracle, q, cutoff)
+		if len(gn) != len(wn) {
+			t.Fatalf("cutoff %g: Near(%v): cell list %d hits, oracle %d", cutoff, q, len(gn), len(wn))
+		}
+		for i := range gn {
+			if gn[i] != wn[i] {
+				t.Fatalf("cutoff %g: Near(%v) hit %d: cell list %d, oracle %d", cutoff, q, i, gn[i], wn[i])
+			}
+		}
+	}
+}
+
+// TestCellListMatchesOracleOpen fuzzes random open-boundary point sets
+// across cutoffs spanning sub-spacing to beyond the cloud diameter.
+func TestCellListMatchesOracleOpen(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(60)
+		pts := make([][3]float64, n)
+		for i := range pts {
+			for k := 0; k < 3; k++ {
+				pts[i][k] = (rng.Float64() - 0.5) * 30
+			}
+		}
+		for _, cutoff := range []float64{0.5, 2, 5, 12, 40, math.Inf(1)} {
+			checkAgainstOracle(t, pts, nil, cutoff)
+		}
+	}
+}
+
+// TestCellListMatchesOraclePeriodic fuzzes periodic boxes, including
+// points outside the primary cell and cutoffs straddling the box
+// length (where the list must fall back to the min-image brute scan).
+func TestCellListMatchesOraclePeriodic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		box := [3]float64{8 + rng.Float64()*10, 8 + rng.Float64()*10, 8 + rng.Float64()*10}
+		n := 2 + rng.Intn(60)
+		pts := make([][3]float64, n)
+		for i := range pts {
+			for k := 0; k < 3; k++ {
+				// Deliberately outside [0, L): binning must wrap.
+				pts[i][k] = (rng.Float64()*3 - 1) * box[k]
+			}
+		}
+		minL := math.Min(box[0], math.Min(box[1], box[2]))
+		for _, cutoff := range []float64{0.5, minL / 4, minL / 3.01, minL / 2, minL, 2 * minL, math.Inf(1)} {
+			checkAgainstOracle(t, pts, &box, cutoff)
+		}
+	}
+}
+
+// TestCellListBoundaryAtoms places atoms exactly on cell-bin boundaries
+// and box corners, where floor() rounding is most fragile.
+func TestCellListBoundaryAtoms(t *testing.T) {
+	box := [3]float64{12, 12, 12}
+	var pts [][3]float64
+	for _, v := range []float64{0, 3, 6, 9, 12} { // 12 ≡ 0 under wrap
+		pts = append(pts, [3]float64{v, 0, 0}, [3]float64{0, v, 0}, [3]float64{v, v, v})
+	}
+	pts = append(pts, [3]float64{-3, 12, 24}, [3]float64{11.999999999, 0, 0})
+	for _, cutoff := range []float64{3, 4, 6, 11.9} {
+		checkAgainstOracle(t, pts, &box, cutoff)
+	}
+	checkAgainstOracle(t, pts, nil, 3)
+}
+
+// TestCellListEarlyStop verifies yield=false stops enumeration.
+func TestCellListEarlyStop(t *testing.T) {
+	pts := [][3]float64{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0}}
+	cl := New(pts)
+	count := 0
+	cl.Pairs(10, func(i, j int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("Pairs continued after yield returned false: %d calls", count)
+	}
+	count = 0
+	cl.Triples(10, func(i, j, k int) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("Triples continued after yield returned false: %d calls", count)
+	}
+}
+
+// TestCellListCutoffInclusive pins the d ≤ cutoff (inclusive) contract
+// on an exact-distance pair in both implementations.
+func TestCellListCutoffInclusive(t *testing.T) {
+	pts := [][3]float64{{0, 0, 0}, {5, 0, 0}}
+	for _, s := range []Source{New(pts), NewBrute(pts, nil)} {
+		if got := collectPairs(s, 5); len(got) != 1 {
+			t.Fatalf("distance exactly at cutoff must be included; got %d pairs", len(got))
+		}
+		if got := collectPairs(s, 4.999999); len(got) != 0 {
+			t.Fatalf("distance beyond cutoff must be excluded; got %d pairs", len(got))
+		}
+	}
+}
+
+// TestMinImageDisplacement pins the min-image fold: result in
+// (−L/2, L/2], symmetric under a↔b up to sign, and never longer than
+// the unwrapped displacement.
+func TestMinImageDisplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	box := [3]float64{10, 14, 7}
+	for trial := 0; trial < 200; trial++ {
+		var a, b [3]float64
+		for k := 0; k < 3; k++ {
+			a[k] = (rng.Float64()*4 - 2) * box[k]
+			b[k] = (rng.Float64()*4 - 2) * box[k]
+		}
+		dw := math.Sqrt(distSq(a, b, &box))
+		du := math.Sqrt(distSq(a, b, nil))
+		if dw > du+1e-12 {
+			t.Fatalf("min-image dist %g exceeds unwrapped %g", dw, du)
+		}
+		if rev := math.Sqrt(distSq(b, a, &box)); rev != dw {
+			t.Fatalf("min-image dist not symmetric: %g vs %g", dw, rev)
+		}
+		for k := 0; k < 3; k++ {
+			d := minImage(a[k]-b[k], box[k])
+			if d <= -box[k]/2-1e-9 || d > box[k]/2+1e-9 {
+				t.Fatalf("minImage(%g, %g) = %g outside (−L/2, L/2]", a[k]-b[k], box[k], d)
+			}
+		}
+	}
+}
+
+func BenchmarkPairsCellList(b *testing.B) {
+	pts := benchCloud(4000)
+	box := [3]float64{80, 80, 80}
+	cl := NewPeriodic(pts, box)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		count := 0
+		cl.grid = nil // force rebinning: measure build + enumerate
+		cl.Pairs(6, func(i, j int) bool { count++; return true })
+	}
+}
+
+func BenchmarkPairsBrute(b *testing.B) {
+	pts := benchCloud(4000)
+	box := [3]float64{80, 80, 80}
+	br := NewBrute(pts, &box)
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		count := 0
+		br.Pairs(6, func(i, j int) bool { count++; return true })
+	}
+}
+
+func benchCloud(n int) [][3]float64 {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([][3]float64, n)
+	for i := range pts {
+		for k := 0; k < 3; k++ {
+			pts[i][k] = rng.Float64() * 80
+		}
+	}
+	return pts
+}

@@ -250,13 +250,17 @@ func (p *LennardJones) Evaluate(g *molecule.Geometry) (float64, []float64, error
 		for j := i + 1; j < g.N(); j++ {
 			rj := chem.CovalentRadius(g.Atoms[j].Z)
 			sigma := ss * (ri + rj)
-			r := g.Dist(i, j)
+			// Minimum-image displacement on periodic geometries, so
+			// energy and forces stay consistent across the boundary
+			// (identical to the raw displacement when Cell is nil).
+			d := g.Displacement(i, j)
+			r := math.Sqrt(d[0]*d[0] + d[1]*d[1] + d[2]*d[2])
 			sr6 := math.Pow(sigma/r, 6)
 			sr12 := sr6 * sr6
 			energy += 4 * eps * (sr12 - sr6)
 			dEdr := 4 * eps * (-12*sr12 + 6*sr6) / r
 			for k := 0; k < 3; k++ {
-				u := (g.Atoms[i].Pos[k] - g.Atoms[j].Pos[k]) / r
+				u := d[k] / r
 				grad[3*i+k] += dEdr * u
 				grad[3*j+k] -= dEdr * u
 			}

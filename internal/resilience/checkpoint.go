@@ -18,7 +18,10 @@ import (
 // SchemaVersion is the checkpoint schema this build writes. Load
 // accepts any version up to it (older schemas only add fields) and
 // rejects newer ones with a clear error.
-const SchemaVersion = 1
+//
+// History: v1 — initial layout; v2 — adds the optional periodic cell
+// (absent in v1 payloads, which decode as open-boundary).
+const SchemaVersion = 2
 
 // checkpointMagic identifies a fragmd checkpoint envelope.
 const checkpointMagic = "fragmd-checkpoint"
@@ -113,6 +116,9 @@ type Checkpoint struct {
 	Pos    []float64 `json:"pos"` // 3N, Bohr
 	Vel    []float64 `json:"vel"` // 3N, atomic units
 	Masses []float64 `json:"masses"`
+	// Cell holds the orthorhombic box edge lengths in Bohr for a
+	// periodic trajectory (empty = open boundaries; schema ≥ 2).
+	Cell []float64 `json:"cell,omitempty"`
 
 	Thermostat *ThermostatState `json:"thermostat,omitempty"`
 	Warm       []WarmEntry      `json:"warm,omitempty"`
@@ -136,6 +142,9 @@ func Snapshot(state *md.State, stepsDone int, dt float64) *Checkpoint {
 			ck.Pos[3*i+k] = a.Pos[k]
 			ck.Vel[3*i+k] = state.Vel[i][k]
 		}
+	}
+	if c := state.Geom.Cell; c != nil {
+		ck.Cell = []float64{c.L[0], c.L[1], c.L[2]}
 	}
 	return ck
 }
@@ -175,6 +184,16 @@ func (ck *Checkpoint) State() (*md.State, error) {
 	for i, z := range ck.Zs {
 		g.AddAtom(z, ck.Pos[3*i], ck.Pos[3*i+1], ck.Pos[3*i+2])
 	}
+	if len(ck.Cell) != 0 {
+		if len(ck.Cell) != 3 {
+			return nil, fmt.Errorf("%w: cell has %d edges, want 3", ErrCorrupt, len(ck.Cell))
+		}
+		cell, err := molecule.NewCell(ck.Cell[0], ck.Cell[1], ck.Cell[2])
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		g.Cell = cell
+	}
 	s := md.NewState(g)
 	for i := range s.Vel {
 		for k := 0; k < 3; k++ {
@@ -188,13 +207,25 @@ func (ck *Checkpoint) State() (*md.State, error) {
 }
 
 // Matches reports whether the checkpoint was taken from a system with
-// the same atom list (count and atomic numbers, in order) as g.
+// the same atom list (count and atomic numbers, in order) and the same
+// boundary conditions (cell edges, or both open) as g.
 func (ck *Checkpoint) Matches(g *molecule.Geometry) bool {
 	if g.N() != len(ck.Zs) {
 		return false
 	}
 	for i, a := range g.Atoms {
 		if a.Z != ck.Zs[i] {
+			return false
+		}
+	}
+	if g.Cell == nil {
+		return len(ck.Cell) == 0
+	}
+	if len(ck.Cell) != 3 {
+		return false
+	}
+	for k := 0; k < 3; k++ {
+		if ck.Cell[k] != g.Cell.L[k] {
 			return false
 		}
 	}

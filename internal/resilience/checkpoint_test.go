@@ -102,6 +102,69 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 }
 
+// A periodic trajectory's cell survives the checkpoint round trip
+// bit-identically, and Matches treats the boundary conditions as part
+// of the system identity: a periodic checkpoint never restores into an
+// open-boundary run (or a differently-sized box) and vice versa.
+func TestCheckpointPeriodicCell(t *testing.T) {
+	g := molecule.WaterBox(2, 2, 2, 1)
+	s := md.NewState(g)
+	s.SampleVelocities(150, rand.New(rand.NewSource(5)))
+
+	path := filepath.Join(t.TempDir(), "box.ckpt")
+	if err := Save(path, Snapshot(s, 3, 20.0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := got.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Geom.Cell == nil {
+		t.Fatal("restored geometry lost its periodic cell")
+	}
+	for k := 0; k < 3; k++ {
+		if rs.Geom.Cell.L[k] != g.Cell.L[k] {
+			t.Fatalf("cell edge %d: restored %v, want %v", k, rs.Geom.Cell.L[k], g.Cell.L[k])
+		}
+	}
+	if !got.Matches(g) {
+		t.Error("Matches rejected the source periodic geometry")
+	}
+	open := g.Clone()
+	open.Cell = nil
+	if got.Matches(open) {
+		t.Error("periodic checkpoint matched an open-boundary geometry")
+	}
+	resized := g.Clone()
+	resized.Cell.L[0] *= 2
+	if got.Matches(resized) {
+		t.Error("periodic checkpoint matched a differently-sized cell")
+	}
+
+	// And the other direction: an open checkpoint never restores into a
+	// periodic run.
+	openCk := Snapshot(md.NewState(open), 0, 20.0)
+	if openCk.Matches(g) {
+		t.Error("open checkpoint matched a periodic geometry")
+	}
+
+	// A corrupted cell (wrong edge count / non-positive edge) is refused
+	// as corruption, not silently accepted.
+	bad := Snapshot(s, 0, 20.0)
+	bad.Cell = []float64{1, 2}
+	if _, err := bad.State(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("2-edge cell accepted: %v", err)
+	}
+	bad.Cell = []float64{1, -2, 3}
+	if _, err := bad.State(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("negative cell edge accepted: %v", err)
+	}
+}
+
 // A flipped payload byte is caught by the checksum, not trusted.
 func TestCheckpointCorruptionDetected(t *testing.T) {
 	s := testState(t)

@@ -49,6 +49,11 @@ type JobSpec struct {
 	Tenant string `json:"tenant"`
 	// XYZ is the inline geometry in XYZ format (Å); required.
 	XYZ string `json:"xyz"`
+	// BoxA requests periodic (minimum-image) boundaries: either one
+	// edge length (cubic) or three, in Å. It overrides any cell=
+	// comment in the XYZ; empty keeps the XYZ's cell, or open
+	// boundaries if the XYZ has none.
+	BoxA []float64 `json:"box,omitempty"`
 
 	// Potential selects the evaluator ("rimp2", "hf", "hf4c", "lj";
 	// default "rimp2"); Basis, SCS and RIScreen mirror the CLI knobs.
@@ -149,6 +154,21 @@ func (sp *JobSpec) system() (*molecule.Geometry, *fragment.Fragmentation, error)
 	if err != nil {
 		return nil, nil, fmt.Errorf("xyz: %v", err)
 	}
+	if len(sp.BoxA) != 0 {
+		var cell *molecule.Cell
+		switch len(sp.BoxA) {
+		case 1:
+			cell, err = molecule.NewCellAngstrom(sp.BoxA[0], sp.BoxA[0], sp.BoxA[0])
+		case 3:
+			cell, err = molecule.NewCellAngstrom(sp.BoxA[0], sp.BoxA[1], sp.BoxA[2])
+		default:
+			return nil, nil, fmt.Errorf("box: want 1 or 3 edge lengths, got %d", len(sp.BoxA))
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("box: %v", err)
+		}
+		g.Cell = cell
+	}
 	opts := fragment.Options{}
 	if sp.DimerCutA > 0 {
 		opts.DimerCutoff = sp.DimerCutA * chem.BohrPerAngstrom
@@ -168,10 +188,18 @@ func (sp *JobSpec) system() (*molecule.Geometry, *fragment.Fragmentation, error)
 // the same reuse tolerances, so cross-job reuse can never relax a job's
 // own accuracy contract. Polymer cache keys are monomer-index based, so
 // anything that changes the fragment identity must change the pool key.
+// The boundary conditions are part of the system: a periodic job never
+// shares a pool with an open-boundary one, and two periodic jobs share
+// only when their cells match exactly.
 func (sp *JobSpec) fingerprint(g *molecule.Geometry) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s|%s|%t|%g|%d|%g|%g|%g|%d|", sp.Potential, sp.Basis, sp.SCS, sp.RIScreen,
 		sp.AtomsPerMonomer, sp.DimerCutA, sp.TrimerCutA, sp.SkipTolA, sp.MaxSkip)
+	if c := g.Cell; c != nil {
+		fmt.Fprintf(h, "cell=%g,%g,%g|", c.L[0], c.L[1], c.L[2])
+	} else {
+		fmt.Fprintf(h, "open|")
+	}
 	for _, a := range g.Atoms {
 		fmt.Fprintf(h, "%d,", a.Z)
 	}

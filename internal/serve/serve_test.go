@@ -483,13 +483,15 @@ func TestRejection(t *testing.T) {
 	defer ts.Close()
 
 	bad := []JobSpec{
-		{XYZ: waterXYZ(t, 1), Steps: 3},                                    // no tenant
-		{Tenant: "t", Steps: 3},                                            // no geometry
-		{Tenant: "t", XYZ: waterXYZ(t, 1)},                                 // no steps
-		{Tenant: "t", XYZ: "not xyz at all", Steps: 3},                     // unparsable
-		{Tenant: "t", XYZ: waterXYZ(t, 1), Steps: 3, Potential: "mystery"}, // unknown potential
-		{Tenant: "t", XYZ: waterXYZ(t, 1), Steps: 3, AtomsPerMonomer: -1},  // bad fragmentation
-		{Tenant: "t", XYZ: waterXYZ(t, 1), Steps: 3, DtFs: -0.5},           // bad dt
+		{XYZ: waterXYZ(t, 1), Steps: 3},                                       // no tenant
+		{Tenant: "t", Steps: 3},                                               // no geometry
+		{Tenant: "t", XYZ: waterXYZ(t, 1)},                                    // no steps
+		{Tenant: "t", XYZ: "not xyz at all", Steps: 3},                        // unparsable
+		{Tenant: "t", XYZ: waterXYZ(t, 1), Steps: 3, Potential: "mystery"},    // unknown potential
+		{Tenant: "t", XYZ: waterXYZ(t, 1), Steps: 3, AtomsPerMonomer: -1},     // bad fragmentation
+		{Tenant: "t", XYZ: waterXYZ(t, 1), Steps: 3, DtFs: -0.5},              // bad dt
+		{Tenant: "t", XYZ: waterXYZ(t, 1), Steps: 3, BoxA: []float64{10, 10}}, // wrong edge count
+		{Tenant: "t", XYZ: waterXYZ(t, 1), Steps: 3, BoxA: []float64{-10}},    // non-positive edge
 	}
 	for i, spec := range bad {
 		body, _ := json.Marshal(spec)
@@ -549,5 +551,41 @@ func TestFleetMode(t *testing.T) {
 	for _, id := range ids {
 		waitTerminal(t, ts.URL, id)
 		assertTrajectory(t, fetchResult(t, ts.URL, id), ref, 1e-10)
+	}
+}
+
+// The warm-start pool fingerprint treats boundary conditions as part of
+// the system identity: a periodic job never shares a cache pool with an
+// open-boundary job over the same atoms, two periodic jobs share only
+// when their cells match exactly, and a single cubic edge is the same
+// cell as its three-edge spelling.
+func TestFingerprintSeparatesBoundaryConditions(t *testing.T) {
+	fp := func(sp JobSpec) string {
+		t.Helper()
+		if err := sp.normalize(); err != nil {
+			t.Fatal(err)
+		}
+		g, _, err := sp.system()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sp.fingerprint(g)
+	}
+	open := ljSpec(t, "t", 2, 1)
+	cubic := ljSpec(t, "t", 2, 1)
+	cubic.BoxA = []float64{20}
+	cubicLong := ljSpec(t, "t", 2, 1)
+	cubicLong.BoxA = []float64{20, 20, 20}
+	rect := ljSpec(t, "t", 2, 1)
+	rect.BoxA = []float64{20, 20, 25}
+
+	if fp(open) == fp(cubic) {
+		t.Error("periodic job shares a fingerprint with an open-boundary job")
+	}
+	if fp(cubic) == fp(rect) {
+		t.Error("different cells share a fingerprint")
+	}
+	if fp(cubic) != fp(cubicLong) {
+		t.Error("cubic cell fingerprint depends on its spelling")
 	}
 }
